@@ -1,0 +1,429 @@
+// Command htd is the command-line front end of the hypertree decomposition
+// toolkit.
+//
+// Usage:
+//
+//	htd decompose -method bb [-seed N] [-maxnodes N] [-o out.gml] file.hg
+//	htd bounds file.hg
+//	htd validate file.hg
+//	htd gen -family adder -n 20 > adder_20.hg
+//	htd tw -method astar file.col
+//
+// Hypergraph files use the TU-Wien "edge(v1,…)," format; graph files use
+// DIMACS .col. `htd gen -list` shows the instance families.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hypertree"
+	"hypertree/internal/csp"
+	"hypertree/internal/gen"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "decompose":
+		err = cmdDecompose(os.Args[2:])
+	case "tw":
+		err = cmdTreewidth(os.Args[2:])
+	case "hw":
+		err = cmdHypertreeWidth(os.Args[2:])
+	case "fhw":
+		err = cmdFractional(os.Args[2:])
+	case "bounds":
+		err = cmdBounds(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "htd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `htd — tree and generalized hypertree decompositions
+
+commands:
+  decompose  compute a GHD of a hypergraph file (-method minfill|ga|saiga|bb|astar)
+  tw         compute the treewidth of a DIMACS or PACE graph file
+  hw         compute the exact hypertree width via det-k-decomp
+  fhw        compute a fractional hypertree width upper bound
+  bounds     print fast lower/upper bounds (tw and ghw) of a hypergraph
+  validate   parse and sanity-check a hypergraph file
+  gen        generate benchmark instances (-list for families)
+  solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
+  query      answer a conjunctive query (-q "ans(X):-r(X,Y)") over TSV relations
+`)
+}
+
+func loadHypergraph(path string) (*htd.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return htd.ParseHypergraph(f)
+}
+
+// loadGraph reads a graph file, auto-detecting DIMACS "p edge" and PACE
+// "p tw" headers.
+func loadGraph(path string) (*htd.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(string(data), "p tw") {
+		return hypergraph.ParsePACE(strings.NewReader(string(data)))
+	}
+	return htd.ParseDIMACS(strings.NewReader(string(data)))
+}
+
+func cmdDecompose(args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
+	show := fs.Bool("print", false, "print the decomposition tree")
+	dotOut := fs.String("dot", "", "write the decomposition as Graphviz DOT to this file")
+	tdOut := fs.String("td", "", "write the decomposition in PACE .td format to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("decompose: need exactly one hypergraph file")
+	}
+	h, err := loadHypergraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := htd.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	d, err := htd.Decompose(h, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %s (%d vertices, %d hyperedges, acyclic: %v)\n",
+		fs.Arg(0), h.NumVertices(), h.NumEdges(), h.IsAcyclic())
+	fmt.Printf("method: %s, ghw upper bound: %d, tree width: %d, nodes: %d, time: %s\n",
+		m, d.GHWidth(), d.Width(), d.NumNodes(), time.Since(start).Round(time.Millisecond))
+	if *show {
+		fmt.Print(d.String())
+	}
+	if *dotOut != "" {
+		if err := writeFile(*dotOut, d.WriteDOT); err != nil {
+			return err
+		}
+	}
+	if *tdOut != "" {
+		if err := writeFile(*tdOut, d.WriteTD); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdHypertreeWidth(args []string) error {
+	fs := flag.NewFlagSet("hw", flag.ExitOnError)
+	maxK := fs.Int("maxk", 0, "largest width to try (0 = no cap)")
+	show := fs.Bool("print", false, "print the decomposition tree")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("hw: need exactly one hypergraph file")
+	}
+	h, err := loadHypergraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w, d := htd.HypertreeWidth(h, *maxK)
+	if w < 0 {
+		fmt.Printf("hypertree width exceeds %d (%s)\n", *maxK, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	fmt.Printf("hypertree width: %d (%s)\n", w, time.Since(start).Round(time.Millisecond))
+	if *show {
+		fmt.Print(d.String())
+	}
+	return nil
+}
+
+func cmdFractional(args []string) error {
+	fs := flag.NewFlagSet("fhw", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fhw: need exactly one hypergraph file")
+	}
+	h, err := loadHypergraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w, _ := htd.FHWUpperBound(h, *seed)
+	fmt.Printf("fractional hypertree width ≤ %.4f (%s)\n", w, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdTreewidth(args []string) error {
+	fs := flag.NewFlagSet("tw", flag.ExitOnError)
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("tw: need exactly one DIMACS file")
+	}
+	g, err := loadGraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := htd.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := htd.Treewidth(g, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %s (%d vertices, %d edges)\n", fs.Arg(0), g.NumVertices(), g.NumEdges())
+	fmt.Printf("method: %s, width: %d, lower bound: %d, exact: %v, nodes: %d, time: %s\n",
+		m, res.Width, res.LowerBound, res.Exact, res.Nodes, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdBounds(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bounds: need exactly one hypergraph file")
+	}
+	h, err := loadHypergraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lb, ub := htd.TreewidthBounds(h.PrimalGraph(), *seed)
+	fmt.Printf("treewidth: %d ≤ tw ≤ %d\n", lb, ub)
+	glb := htd.GHWLowerBound(h, *seed)
+	d, err := htd.Decompose(h, htd.Options{Method: htd.MethodMinFill, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generalized hypertree width: %d ≤ ghw ≤ %d\n", glb, d.GHWidth())
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate: need exactly one hypergraph file")
+	}
+	h, err := loadHypergraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d vertices, %d hyperedges, max arity %d\n",
+		h.NumVertices(), h.NumEdges(), h.MaxEdgeSize())
+	return nil
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	method := fs.String("method", "minfill", "decomposition method")
+	seed := fs.Int64("seed", 1, "random seed")
+	count := fs.Bool("count", false, "count all solutions (#CSP) instead of finding one")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("solve: need exactly one CSP JSON file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, names, err := csp.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	m, err := htd.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	opt := htd.Options{Method: m, Seed: *seed}
+	h := c.Hypergraph()
+	fmt.Printf("instance: %d variables, %d constraints, ghw lb %d\n",
+		c.NumVars(), len(c.Constraints), htd.GHWLowerBound(h, *seed))
+	start := time.Now()
+	if *count {
+		n, err := htd.CountCSP(c, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solutions: %d (%s)\n", n, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	sol, ok, err := htd.SolveCSP(c, opt)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Printf("UNSATISFIABLE (%s)\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	fmt.Printf("SATISFIABLE (%s)\n%s", time.Since(start).Round(time.Millisecond),
+		csp.FormatSolution(c, names, sol))
+	return nil
+}
+
+// cmdQuery answers a conjunctive query over relations loaded from TSV
+// files named <relation>.tsv in the given directory.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	queryText := fs.String("q", "", "query, e.g. 'ans(X,Z) :- r(X,Y), s(Y,Z).'")
+	fs.Parse(args)
+	if *queryText == "" || fs.NArg() != 1 {
+		return fmt.Errorf("query: usage: htd query -q 'ans(X) :- r(X,Y).' datadir")
+	}
+	q, err := htd.ParseQuery(*queryText)
+	if err != nil {
+		return err
+	}
+	db := htd.NewDatabase()
+	entries, err := os.ReadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tsv") {
+			continue
+		}
+		rel := strings.TrimSuffix(e.Name(), ".tsv")
+		data, err := os.ReadFile(fs.Arg(0) + "/" + e.Name())
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			db.Add(rel, strings.Split(line, "\t")...)
+		}
+	}
+	h := q.Hypergraph()
+	fmt.Printf("query hypergraph: %d variables, %d atoms, acyclic: %v\n",
+		h.NumVertices(), h.NumEdges(), h.IsAcyclic())
+	start := time.Now()
+	rows, err := htd.AnswerQuery(q, db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d answers (%s)\n", len(rows), time.Since(start).Round(time.Millisecond))
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, "\t"))
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	family := fs.String("family", "", "instance family")
+	n := fs.Int("n", 10, "size parameter")
+	m := fs.Int("m", 0, "secondary size parameter (family-specific)")
+	p := fs.Float64("p", 0.2, "edge probability (random families)")
+	seed := fs.Int64("seed", 1, "random seed")
+	list := fs.Bool("list", false, "list families")
+	fs.Parse(args)
+	if *list || *family == "" {
+		fmt.Println("graph families (DIMACS output): queen, mycielski, grid2d, grid3d, clique, dsjc, geometric, kpartite")
+		fmt.Println("hypergraph families (TU-Wien output): adder, bridge, cliquehg, grid2dhg, chain, circuit")
+		return nil
+	}
+	switch strings.ToLower(*family) {
+	case "queen":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.Queen(*n))
+	case "mycielski":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.Mycielski(*n))
+	case "grid2d":
+		cols := *m
+		if cols == 0 {
+			cols = *n
+		}
+		return hypergraph.WriteDIMACS(os.Stdout, gen.Grid2D(*n, cols))
+	case "grid3d":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.Grid3D(*n, *n, *n))
+	case "clique":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.Clique(*n))
+	case "dsjc":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.ErdosRenyi(*n, *p, *seed))
+	case "geometric":
+		return hypergraph.WriteDIMACS(os.Stdout, gen.RandomGeometric(*n, *p, *seed))
+	case "kpartite":
+		parts := *m
+		if parts == 0 {
+			parts = 5
+		}
+		return hypergraph.WriteDIMACS(os.Stdout, gen.KPartite(*n, parts, *p, *seed))
+	case "adder":
+		return hypergraph.WriteHypergraph(os.Stdout, gen.Adder(*n))
+	case "bridge":
+		return hypergraph.WriteHypergraph(os.Stdout, gen.Bridge(*n))
+	case "cliquehg":
+		return hypergraph.WriteHypergraph(os.Stdout, gen.CliqueHypergraph(*n))
+	case "grid2dhg":
+		cols := *m
+		if cols == 0 {
+			cols = *n
+		}
+		return hypergraph.WriteHypergraph(os.Stdout, gen.Grid2DHypergraph(*n, cols))
+	case "chain":
+		return hypergraph.WriteHypergraph(os.Stdout, gen.Chain(*n, 4, 2))
+	case "circuit":
+		gates := *m
+		if gates == 0 {
+			gates = 5 * *n
+		}
+		return hypergraph.WriteHypergraph(os.Stdout, gen.Circuit(*n, gates, 4, *seed))
+	}
+	return fmt.Errorf("gen: unknown family %q", *family)
+}

@@ -1,0 +1,42 @@
+// Command htdbench regenerates the evaluation tables of the thesis
+// (Tables 5.1–9.2). By default it runs a laptop-scale configuration of
+// every table; -table selects one, -full switches to paper-scale instances
+// and budgets.
+//
+//	htdbench                 # all tables, scaled down
+//	htdbench -table 5.1      # one table
+//	htdbench -table 7.1 -full -runs 10 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertree/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "", "table id (5.1 … 9.2); empty = all")
+	full := flag.Bool("full", false, "paper-scale instances and budgets (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	runs := flag.Int("runs", 0, "repetitions for stochastic algorithms (0 = default)")
+	flag.Parse()
+
+	cfg := exp.Config{Full: *full, Seed: *seed, Runs: *runs}
+	ids := exp.AllTableIDs
+	if *table != "" {
+		ids = []string{*table}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := exp.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "htdbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(t.Render())
+		fmt.Printf("(generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,9 @@
+package htd
+
+import (
+	"hypertree/internal/elim"
+	"hypertree/internal/hypergraph"
+)
+
+// elimNew adapts the internal elimination-graph constructor for the facade.
+func elimNew(g *hypergraph.Graph) *elim.Graph { return elim.New(g) }

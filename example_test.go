@@ -1,0 +1,75 @@
+package htd_test
+
+import (
+	"fmt"
+	"strings"
+
+	htd "hypertree"
+)
+
+// ExampleDecompose builds a small cyclic hypergraph and computes a
+// width-optimal generalized hypertree decomposition.
+func ExampleDecompose() {
+	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+	d, _ := htd.Decompose(h, htd.Options{Method: htd.MethodBB})
+	fmt.Println("ghw:", d.GHWidth())
+	// Output: ghw: 2
+}
+
+// ExampleGHW shows exact width computation with a proof of optimality.
+func ExampleGHW() {
+	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+	res, _ := htd.GHW(h, htd.Options{Method: htd.MethodAStar})
+	fmt.Println(res.Width, res.Exact)
+	// Output: 2 true
+}
+
+// ExampleHypertreeWidth computes exact hypertree width with det-k-decomp.
+func ExampleHypertreeWidth() {
+	h, _ := htd.ParseHypergraph(strings.NewReader(
+		"e1(a,b), e2(b,c), e3(c,d), e4(d,a)."))
+	w, _ := htd.HypertreeWidth(h, 0)
+	fmt.Println("hw of a 4-cycle:", w)
+	// Output: hw of a 4-cycle: 2
+}
+
+// ExampleIsAcyclicHypergraph demonstrates GYO-based α-acyclicity testing.
+func ExampleIsAcyclicHypergraph() {
+	cyclic, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+	acyclic, _ := htd.ParseHypergraph(strings.NewReader("a(x,y,z), b(z,w)."))
+	fmt.Println(htd.IsAcyclicHypergraph(cyclic), htd.IsAcyclicHypergraph(acyclic))
+	// Output: false true
+}
+
+// ExampleAnswerQuery answers a conjunctive query through a decomposition.
+func ExampleAnswerQuery() {
+	db := htd.NewDatabase()
+	db.Add("parent", "ann", "bob")
+	db.Add("parent", "bob", "cat")
+	q, _ := htd.ParseQuery("ans(X, Z) :- parent(X, Y), parent(Y, Z).")
+	rows, _ := htd.AnswerQuery(q, db)
+	fmt.Println(rows)
+	// Output: [[ann cat]]
+}
+
+// ExampleFractionalCover shows the fractional relaxation beating the
+// integral cover: a triangle needs 2 whole edges but only weight 1.5
+// fractionally.
+func ExampleFractionalCover() {
+	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+	w, _ := htd.FractionalCover(h, []int{0, 1, 2})
+	fmt.Printf("%.1f\n", w)
+	// Output: 1.5
+}
+
+// ExampleTreewidth computes the exact treewidth of a graph.
+func ExampleTreewidth() {
+	g := htd.NewGraph(4) // C4
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	res, _ := htd.Treewidth(g, htd.Options{Method: htd.MethodBB})
+	fmt.Println(res.Width, res.Exact)
+	// Output: 2 true
+}

@@ -1,0 +1,434 @@
+// Package htd is a toolkit for structural decomposition of constraint
+// satisfaction problems and conjunctive queries: tree decompositions
+// (treewidth) and generalized hypertree decompositions (generalized
+// hypertree width), together with the full heuristic-method suite of
+// Schafhauser's "New Heuristic Methods for Tree Decompositions and
+// Generalized Hypertree Decompositions" (TU Wien, 2006) — greedy ordering
+// heuristics, genetic algorithms, a self-adaptive island GA, branch and
+// bound, and A* — plus the CSP machinery to put decompositions to work
+// (acyclic solving, join-tree clustering).
+//
+// # Quick start
+//
+//	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+//	d, _ := htd.Decompose(h, htd.Options{Method: htd.MethodBB})
+//	fmt.Println(d.GHWidth()) // generalized hypertree width
+//
+// Vertices and hyperedges are dense integer indices with attached names;
+// see Hypergraph. All algorithms are deterministic for a fixed Options.Seed.
+package htd
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hypertree/internal/astar"
+	"hypertree/internal/bb"
+	"hypertree/internal/bitset"
+	"hypertree/internal/cq"
+	"hypertree/internal/csp"
+	"hypertree/internal/decomp"
+	"hypertree/internal/detk"
+	"hypertree/internal/frac"
+	"hypertree/internal/ga"
+	"hypertree/internal/heur"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/order"
+	"hypertree/internal/search"
+	"hypertree/internal/setcover"
+)
+
+// Core data types, re-exported from the internal packages.
+type (
+	// Hypergraph is an immutable hypergraph; build one with NewBuilder,
+	// FromEdges, or the parsers.
+	Hypergraph = hypergraph.Hypergraph
+	// Graph is a simple undirected graph.
+	Graph = hypergraph.Graph
+	// Builder accumulates named vertices and hyperedges.
+	Builder = hypergraph.Builder
+	// Decomposition is a tree decomposition, optionally with λ labels
+	// making it a generalized hypertree decomposition.
+	Decomposition = decomp.Decomposition
+	// Node is a decomposition node with χ and λ labels.
+	Node = decomp.Node
+	// Ordering is an elimination ordering; index 0 is eliminated first.
+	Ordering = order.Ordering
+	// Result reports a width search outcome (width, bounds, ordering).
+	Result = search.Result
+	// CSP is a constraint satisfaction problem.
+	CSP = csp.CSP
+	// Constraint is a scope + relation pair.
+	Constraint = csp.Constraint
+	// Relation is a finite relation over variable indices.
+	Relation = csp.Relation
+	// GAConfig holds genetic-algorithm control parameters.
+	GAConfig = ga.Config
+	// GAResult reports a GA run.
+	GAResult = ga.Result
+	// SAIGAConfig configures the self-adaptive island GA.
+	SAIGAConfig = ga.SAIGAConfig
+)
+
+// Constructors and parsers.
+var (
+	// NewBuilder returns an empty hypergraph builder.
+	NewBuilder = hypergraph.NewBuilder
+	// NewGraph returns an edgeless graph with n vertices.
+	NewGraph = hypergraph.NewGraph
+	// FromEdges builds a hypergraph over n vertices from edge lists.
+	FromEdges = hypergraph.FromEdges
+	// FromGraph converts a graph to a binary-edge hypergraph.
+	FromGraph = hypergraph.FromGraph
+	// ParseHypergraph reads the TU-Wien "edge(v1,…)," format.
+	ParseHypergraph = hypergraph.ParseHypergraph
+	// ParseDIMACS reads a DIMACS graph-colouring file.
+	ParseDIMACS = hypergraph.ParseDIMACS
+	// WriteHypergraph writes the TU-Wien format.
+	WriteHypergraph = hypergraph.WriteHypergraph
+	// WriteDIMACS writes DIMACS format.
+	WriteDIMACS = hypergraph.WriteDIMACS
+	// NewRelation builds a CSP relation over a scope.
+	NewRelation = csp.NewRelation
+	// BuildJoinTree attempts to build a join tree (acyclic CSPs only).
+	BuildJoinTree = csp.BuildJoinTree
+	// SolveAcyclic runs algorithm Acyclic Solving over a join tree.
+	SolveAcyclic = csp.SolveAcyclic
+	// IsAcyclic reports whether a CSP has a join tree.
+	IsAcyclic = csp.IsAcyclic
+)
+
+// Method selects a decomposition algorithm.
+type Method int
+
+const (
+	// MethodMinFill builds one decomposition from the min-fill ordering —
+	// fast, no optimality guarantee.
+	MethodMinFill Method = iota
+	// MethodGA runs the genetic algorithm (GA-tw / GA-ghw).
+	MethodGA
+	// MethodSAIGA runs the self-adaptive island genetic algorithm.
+	MethodSAIGA
+	// MethodBB runs branch and bound (exact given budget).
+	MethodBB
+	// MethodAStar runs A* (exact given budget; anytime lower bounds).
+	MethodAStar
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodMinFill:
+		return "minfill"
+	case MethodGA:
+		return "ga"
+	case MethodSAIGA:
+		return "saiga"
+	case MethodBB:
+		return "bb"
+	case MethodAStar:
+		return "astar"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod parses a method name as used by the CLI tools.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "minfill":
+		return MethodMinFill, nil
+	case "ga":
+		return MethodGA, nil
+	case "saiga":
+		return MethodSAIGA, nil
+	case "bb":
+		return MethodBB, nil
+	case "astar":
+		return MethodAStar, nil
+	}
+	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar)", s)
+}
+
+// Options configures Decompose and the width functions.
+type Options struct {
+	// Method selects the algorithm; MethodMinFill by default.
+	Method Method
+	// Seed drives all randomised components.
+	Seed int64
+	// MaxNodes bounds exact searches (0 = unbounded).
+	MaxNodes int64
+	// GA overrides the genetic algorithm parameters (nil = tuned
+	// defaults scaled to the instance).
+	GA *GAConfig
+	// SAIGA overrides the island GA parameters.
+	SAIGA *SAIGAConfig
+}
+
+func (o Options) gaConfig(n int) ga.Config {
+	if o.GA != nil {
+		c := *o.GA
+		c.Seed = o.Seed
+		return c
+	}
+	c := ga.DefaultConfig()
+	// Scale the thesis's 2000×2000 defaults down for interactive use.
+	c.PopulationSize = 100
+	c.Generations = 150
+	if n > 200 {
+		c.Generations = 80
+	}
+	c.Seed = o.Seed
+	return c
+}
+
+func (o Options) saigaConfig() ga.SAIGAConfig {
+	if o.SAIGA != nil {
+		c := *o.SAIGA
+		c.Seed = o.Seed
+		return c
+	}
+	c := ga.DefaultSAIGAConfig()
+	c.IslandPop = 50
+	c.Epochs = 10
+	c.EpochLength = 10
+	c.Seed = o.Seed
+	return c
+}
+
+// Decompose computes a generalized hypertree decomposition of h with the
+// selected method. The returned decomposition is validated and carries λ
+// labels from exact set covers of the final ordering.
+func Decompose(h *Hypergraph, opt Options) (*Decomposition, error) {
+	o, _, err := ghwOrdering(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	d := order.GHD(h, o, rand.New(rand.NewSource(opt.Seed)), true)
+	if err := d.ValidateGHD(); err != nil {
+		return nil, fmt.Errorf("htd: internal error: produced invalid decomposition: %w", err)
+	}
+	return d, nil
+}
+
+// GHW computes (bounds on) the generalized hypertree width of h.
+func GHW(h *Hypergraph, opt Options) (Result, error) {
+	_, res, err := ghwOrdering(h, opt)
+	return res, err
+}
+
+func ghwOrdering(h *Hypergraph, opt Options) (order.Ordering, Result, error) {
+	n := h.NumVertices()
+	if n == 0 {
+		return nil, Result{Exact: true, Ordering: []int{}}, nil
+	}
+	switch opt.Method {
+	case MethodMinFill:
+		g := h.PrimalGraph()
+		e := elimNew(g)
+		ord, _ := heur.MinFill(e, rand.New(rand.NewSource(opt.Seed)))
+		w := order.GHWidth(h, ord, nil, true)
+		return ord, Result{Width: w, LowerBound: 0, Ordering: ord}, nil
+	case MethodGA:
+		res := ga.GHW(h, opt.gaConfig(n))
+		return res.Ordering, Result{Width: res.Width, Ordering: res.Ordering}, nil
+	case MethodSAIGA:
+		res := ga.SAIGAGHW(h, opt.saigaConfig())
+		return res.Ordering, Result{Width: res.Width, Ordering: res.Ordering}, nil
+	case MethodBB:
+		res := bb.GHW(h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+		return res.Ordering, res, nil
+	case MethodAStar:
+		res := astar.GHW(h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+		return res.Ordering, res, nil
+	}
+	return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
+}
+
+// Treewidth computes (bounds on) the treewidth of g.
+func Treewidth(g *Graph, opt Options) (Result, error) {
+	h := hypergraph.FromGraph(g)
+	if g.NumVertices() == 0 {
+		return Result{Exact: true, Ordering: []int{}}, nil
+	}
+	switch opt.Method {
+	case MethodMinFill:
+		e := elimNew(g)
+		ord, w := heur.MinFill(e, rand.New(rand.NewSource(opt.Seed)))
+		return Result{Width: w, Ordering: ord}, nil
+	case MethodGA:
+		res := ga.Treewidth(h, opt.gaConfig(g.NumVertices()))
+		return Result{Width: res.Width, Ordering: res.Ordering}, nil
+	case MethodSAIGA:
+		res := ga.SAIGATreewidth(h, opt.saigaConfig())
+		return Result{Width: res.Width, Ordering: res.Ordering}, nil
+	case MethodBB:
+		return bb.Treewidth(g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed}), nil
+	case MethodAStar:
+		return astar.Treewidth(g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed}), nil
+	}
+	return Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
+}
+
+// TreewidthBounds returns fast heuristic lower and upper bounds on the
+// treewidth of g (minor-min-width ∨ minor-γ_R, and min-fill).
+func TreewidthBounds(g *Graph, seed int64) (lb, ub int) {
+	e := elimNew(g)
+	rng := rand.New(rand.NewSource(seed))
+	lb = heur.LowerBound(e, rng)
+	_, ub = heur.MinFill(e, rng)
+	return lb, ub
+}
+
+// GHWLowerBound returns the tw-ksc-width lower bound on the generalized
+// hypertree width of h (§8.1).
+func GHWLowerBound(h *Hypergraph, seed int64) int {
+	e := elimNew(h.PrimalGraph())
+	rng := rand.New(rand.NewSource(seed))
+	return setcover.TwKscLowerBound(h, heur.LowerBound(e, rng))
+}
+
+// DecomposeOrdering materialises the generalized hypertree decomposition a
+// given elimination ordering induces (bucket elimination + exact covers).
+func DecomposeOrdering(h *Hypergraph, o Ordering) (*Decomposition, error) {
+	if err := o.Validate(h.NumVertices()); err != nil {
+		return nil, err
+	}
+	return order.GHD(h, o, nil, true), nil
+}
+
+// SolveCSP solves a CSP through a decomposition of its constraint
+// hypergraph built with the given options, returning one solution (or
+// ok=false when unsatisfiable).
+func SolveCSP(c *CSP, opt Options) (solution []int, ok bool, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, false, err
+	}
+	h := c.Hypergraph()
+	d, err := Decompose(h, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	return csp.SolveFromGHD(c, d)
+}
+
+// SolveCSPFromDecomposition solves c using an existing decomposition: via
+// generalized-hypertree semantics when λ labels are present, via join-tree
+// clustering otherwise.
+func SolveCSPFromDecomposition(c *CSP, d *Decomposition) ([]int, bool, error) {
+	if len(d.Nodes()) > 0 && d.Nodes()[0].Lambda != nil {
+		return csp.SolveFromGHD(c, d)
+	}
+	return csp.SolveFromTD(c, d)
+}
+
+// CountCSP counts the complete consistent assignments of c through a
+// decomposition built with the given options (#CSP via the join-tree
+// dynamic program — polynomial for bounded width, unlike enumeration).
+func CountCSP(c *CSP, opt Options) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	h := c.Hypergraph()
+	d, err := Decompose(h, opt)
+	if err != nil {
+		return 0, err
+	}
+	return csp.CountFromGHD(c, d)
+}
+
+// ReadHypergraphFile parses a TU-Wien format hypergraph from r.
+func ReadHypergraphFile(r io.Reader) (*Hypergraph, error) {
+	return hypergraph.ParseHypergraph(r)
+}
+
+// HypertreeWidth computes the exact hypertree width hw(H) with
+// det-k-decomp, together with a witnessing hypertree decomposition
+// (satisfying the descendant condition). maxK caps the search; pass 0 for
+// no cap. It returns width −1 when maxK is exceeded.
+func HypertreeWidth(h *Hypergraph, maxK int) (int, *Decomposition) {
+	return detk.Width(h, maxK, detk.Options{})
+}
+
+// HypertreeDecompose returns a hypertree decomposition of width ≤ k, or
+// ok=false when hw(H) > k. Deciding this is polynomial for fixed k —
+// the tractability frontier the PODS survey centres on.
+func HypertreeDecompose(h *Hypergraph, k int) (*Decomposition, bool) {
+	return detk.Decompose(h, k, detk.Options{})
+}
+
+// HypertreeDecomposeBalanced is the BalancedGo-style variant: feasible
+// separators are tried most-balanced first, giving shallow trees, and the
+// components of each separator recurse in parallel.
+func HypertreeDecomposeBalanced(h *Hypergraph, k int) (*Decomposition, bool) {
+	return detk.DecomposeBalanced(h, k, detk.BalancedOptions{Parallel: true})
+}
+
+// FractionalCover returns ρ*(target): the minimum total weight of a
+// fractional edge cover of the target vertex set, with the optimal edge
+// weights.
+func FractionalCover(h *Hypergraph, target []int) (float64, map[int]float64) {
+	set := bitset.FromSlice(target)
+	return frac.Cover(h, set)
+}
+
+// FHWUpperBound returns an upper bound on the fractional hypertree width
+// fhw(H): the fractional width of a min-fill ordering improved by local
+// search, together with the ordering.
+func FHWUpperBound(h *Hypergraph, seed int64) (float64, Ordering) {
+	w, o := frac.MinFillUpperBound(h, seed)
+	if h.NumVertices() <= 1 {
+		return w, o
+	}
+	w2, o2 := frac.LocalSearch(h, o, 50, seed+1)
+	if w2 < w {
+		return w2, o2
+	}
+	return w, o
+}
+
+// FractionalWidth returns the fractional width of an elimination ordering
+// (the max ρ* over its χ-sets).
+func FractionalWidth(h *Hypergraph, o Ordering) float64 {
+	return frac.Width(h, o)
+}
+
+// IsAcyclicHypergraph reports α-acyclicity via GYO reduction — equivalent
+// to ghw(H) = 1 and to the existence of a join tree.
+func IsAcyclicHypergraph(h *Hypergraph) bool { return h.IsAcyclic() }
+
+// WeightedTriangulation runs the genetic algorithm with the
+// Bayesian-network objective of thesis §4.5 (minimise log₂ total clique
+// state space); states gives the number of states per variable.
+func WeightedTriangulation(h *Hypergraph, states []int, cfg GAConfig) ga.FloatResult {
+	return ga.WeightedTreewidth(h, states, cfg)
+}
+
+// WeightedWidth evaluates the §4.5 objective of one ordering: log₂ of the
+// total clique state space of the induced tree decomposition.
+func WeightedWidth(h *Hypergraph, states []int, o Ordering) float64 {
+	return ga.WeightedWidth(h, states, o)
+}
+
+// Conjunctive-query types, re-exported from internal/cq.
+type (
+	// Query is a conjunctive query in Datalog notation.
+	Query = cq.Query
+	// Database maps relation names to tuples of constants.
+	Database = cq.Database
+)
+
+// Conjunctive-query functions.
+var (
+	// ParseQuery reads "ans(X,Z) :- r(X,Y), s(Y,Z)." notation.
+	ParseQuery = cq.Parse
+	// NewDatabase returns an empty CQ database.
+	NewDatabase = cq.NewDatabase
+	// AnswerQuery evaluates a conjunctive query through a GHD of its query
+	// hypergraph (Yannakakis; output-polynomial for bounded ghw).
+	AnswerQuery = cq.Evaluate
+	// AnswerQueryWith evaluates using a caller-supplied decomposition.
+	AnswerQueryWith = cq.EvaluateWith
+	// BooleanQuery decides satisfiability of a Boolean query.
+	BooleanQuery = cq.Boolean
+)

@@ -1,0 +1,305 @@
+package htd
+
+import (
+	"strings"
+	"testing"
+
+	"hypertree/internal/gen"
+)
+
+func parseExample(t *testing.T) *Hypergraph {
+	t.Helper()
+	h, err := ParseHypergraph(strings.NewReader("C1(x1,x2,x3), C2(x1,x5,x6), C3(x3,x4,x5)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDecomposeAllMethods(t *testing.T) {
+	h := parseExample(t)
+	for _, m := range []Method{MethodMinFill, MethodGA, MethodSAIGA, MethodBB, MethodAStar} {
+		opt := Options{Method: m, Seed: 3}
+		if m == MethodGA {
+			opt.GA = &GAConfig{PopulationSize: 20, CrossoverRate: 1, MutationRate: 0.3,
+				TournamentSize: 2, Generations: 20, Elitism: true}
+		}
+		if m == MethodSAIGA {
+			opt.SAIGA = &SAIGAConfig{Islands: 2, IslandPop: 10, Epochs: 3, EpochLength: 3,
+				TournamentSize: 2, MigrationSize: 1}
+		}
+		d, err := Decompose(h, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatalf("%v: invalid GHD: %v", m, err)
+		}
+		if w := d.GHWidth(); w < 2 || w > 3 {
+			t.Fatalf("%v: ghw bound %d outside [2,3]", m, w)
+		}
+	}
+}
+
+func TestGHWExactMethodsAgree(t *testing.T) {
+	h := parseExample(t)
+	bbRes, err := GHW(h, Options{Method: MethodBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asRes, err := GHW(h, Options{Method: MethodAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bbRes.Exact || !asRes.Exact || bbRes.Width != asRes.Width {
+		t.Fatalf("BB %+v vs A* %+v", bbRes, asRes)
+	}
+}
+
+func TestTreewidthFacade(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	res, err := Treewidth(g, Options{Method: MethodBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Width != 4 {
+		t.Fatalf("tw(grid4) = %+v", res)
+	}
+	lb, ub := TreewidthBounds(g, 1)
+	if lb > 4 || ub < 4 {
+		t.Fatalf("bounds %d..%d exclude 4", lb, ub)
+	}
+}
+
+func TestGHWLowerBoundFacade(t *testing.T) {
+	h := gen.CliqueHypergraph(8)
+	if lb := GHWLowerBound(h, 1); lb < 2 || lb > 4 {
+		t.Fatalf("ghw lb of K8 = %d, want in [2,4]", lb)
+	}
+}
+
+func TestDecomposeOrderingFacade(t *testing.T) {
+	h := parseExample(t)
+	o := Ordering{0, 1, 2, 3, 4, 5}
+	d, err := DecomposeOrdering(h, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateGHD(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeOrdering(h, Ordering{0, 0, 1, 2, 3, 4}); err == nil {
+		t.Fatal("invalid ordering accepted")
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range []Method{MethodMinFill, MethodGA, MethodSAIGA, MethodBB, MethodAStar} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip %v: %v %v", m, got, err)
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}
+
+func TestSolveCSPFacade(t *testing.T) {
+	// Small colouring CSP: triangle with 3 colours.
+	c := &CSP{
+		VarNames: []string{"a", "b", "c"},
+		Domains:  [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}},
+	}
+	var neq [][]int
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			if x != y {
+				neq = append(neq, []int{x, y})
+			}
+		}
+	}
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		tuples := make([][]int, len(neq))
+		for i, t := range neq {
+			tuples[i] = append([]int(nil), t...)
+		}
+		c.Constraints = append(c.Constraints, &Constraint{
+			Name: "neq",
+			Rel:  NewRelation([]int{p[0], p[1]}, tuples),
+		})
+	}
+	sol, ok, err := SolveCSP(c, Options{Method: MethodBB})
+	if err != nil || !ok {
+		t.Fatalf("triangle colouring failed: %v %v", ok, err)
+	}
+	if !c.Check(sol) {
+		t.Fatalf("solution %v invalid", sol)
+	}
+}
+
+func TestHypertreeWidthFacade(t *testing.T) {
+	h := gen.CliqueHypergraph(6)
+	w, d := HypertreeWidth(h, 0)
+	if w != 3 {
+		t.Fatalf("hw(K6) = %d, want 3", w)
+	}
+	if err := d.ValidateGHD(); err != nil {
+		t.Fatal(err)
+	}
+	if d2, ok := HypertreeDecompose(h, 2); ok || d2 != nil {
+		t.Fatal("hw ≤ 2 claimed for K6")
+	}
+}
+
+func TestFractionalFacade(t *testing.T) {
+	h := gen.CliqueHypergraph(5)
+	w, weights := FractionalCover(h, []int{0, 1, 2, 3, 4})
+	if w < 2.49 || w > 2.51 {
+		t.Fatalf("ρ*(K5) = %v, want 2.5", w)
+	}
+	if len(weights) == 0 {
+		t.Fatal("no cover weights returned")
+	}
+	ub, o := FHWUpperBound(h, 1)
+	if ub < 2.49 || ub > 3.01 {
+		t.Fatalf("fhw ub = %v", ub)
+	}
+	if got := FractionalWidth(h, o); got > ub+1e-9 {
+		t.Fatalf("ordering width %v > reported %v", got, ub)
+	}
+}
+
+func TestAcyclicityFacade(t *testing.T) {
+	if !IsAcyclicHypergraph(gen.Chain(4, 3, 1)) {
+		t.Fatal("chain must be acyclic")
+	}
+	if IsAcyclicHypergraph(parseExample(t)) {
+		t.Fatal("example 5 must be cyclic")
+	}
+}
+
+func TestWeightedFacade(t *testing.T) {
+	h := FromEdges(3, [][]int{{0, 1}, {1, 2}})
+	w := WeightedWidth(h, []int{2, 2, 2}, Ordering{0, 1, 2})
+	if w < 3.3 || w > 3.4 { // log2(10) ≈ 3.3219
+		t.Fatalf("weighted width = %v, want ≈3.32", w)
+	}
+	res := WeightedTriangulation(h, []int{2, 2, 2}, GAConfig{
+		PopulationSize: 10, CrossoverRate: 1, MutationRate: 0.3,
+		TournamentSize: 2, Generations: 10, Elitism: true,
+	})
+	if res.Weight > w+1e-9 {
+		t.Fatalf("GA weight %v worse than a fixed ordering %v", res.Weight, w)
+	}
+}
+
+func TestBalancedFacade(t *testing.T) {
+	h := gen.Adder(10)
+	d, ok := HypertreeDecomposeBalanced(h, 2)
+	if !ok {
+		t.Fatal("balanced decomposer failed on adder_10 at k=2")
+	}
+	if err := d.ValidateGHD(); err != nil {
+		t.Fatal(err)
+	}
+	if d.GHWidth() > 2 {
+		t.Fatalf("width %d > 2", d.GHWidth())
+	}
+}
+
+func TestQueryFacade(t *testing.T) {
+	db := NewDatabase()
+	db.Add("r", "1", "2")
+	db.Add("r", "2", "3")
+	q, err := ParseQuery("ans(X, Z) :- r(X, Y), r(Y, Z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AnswerQuery(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "3" {
+		t.Fatalf("answers = %v", rows)
+	}
+	ok, err := BooleanQuery(q, db)
+	if err != nil || !ok {
+		t.Fatalf("boolean: %v %v", ok, err)
+	}
+}
+
+func TestCountCSPFacade(t *testing.T) {
+	// Path x≠y≠z over 2 values: 2 solutions for the path.
+	neq := [][]int{{0, 1}, {1, 0}}
+	cl := func() [][]int {
+		out := make([][]int, len(neq))
+		for i, t := range neq {
+			out[i] = append([]int(nil), t...)
+		}
+		return out
+	}
+	c := &CSP{
+		VarNames: []string{"x", "y", "z"},
+		Domains:  [][]int{{0, 1}, {0, 1}, {0, 1}},
+		Constraints: []*Constraint{
+			{Name: "xy", Rel: NewRelation([]int{0, 1}, cl())},
+			{Name: "yz", Rel: NewRelation([]int{1, 2}, cl())},
+		},
+	}
+	got, err := CountCSP(c, Options{Method: MethodBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("CountCSP = %d, want 2", got)
+	}
+}
+
+// Default-config paths: Options without GA/SAIGA overrides must work.
+func TestDefaultMethodConfigs(t *testing.T) {
+	h := parseExample(t)
+	for _, m := range []Method{MethodGA, MethodSAIGA} {
+		res, err := GHW(h, Options{Method: m, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Width < 2 || res.Width > 3 {
+			t.Fatalf("%v default config width = %d", m, res.Width)
+		}
+		tw, err := Treewidth(h.PrimalGraph(), Options{Method: m, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v tw: %v", m, err)
+		}
+		if tw.Width < 2 {
+			t.Fatalf("%v tw = %d below exact 2", m, tw.Width)
+		}
+	}
+	// Min-fill treewidth path.
+	res, err := Treewidth(h.PrimalGraph(), Options{Method: MethodMinFill})
+	if err != nil || res.Width < 2 {
+		t.Fatalf("minfill tw: %+v %v", res, err)
+	}
+}
+
+func TestSolveCSPRejectsInvalid(t *testing.T) {
+	bad := &CSP{VarNames: []string{"x"}, Domains: [][]int{{}}}
+	if _, _, err := SolveCSP(bad, Options{}); err == nil {
+		t.Fatal("invalid CSP accepted")
+	}
+	if _, err := CountCSP(bad, Options{}); err == nil {
+		t.Fatal("invalid CSP accepted by CountCSP")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if res, err := Treewidth(NewGraph(0), Options{Method: MethodBB}); err != nil || !res.Exact {
+		t.Fatalf("empty graph: %+v %v", res, err)
+	}
+	b := NewBuilder()
+	b.AddEdge("e", "x")
+	h := b.Build()
+	if _, err := Decompose(h, Options{Method: MethodBB}); err != nil {
+		t.Fatalf("single-vertex hypergraph: %v", err)
+	}
+}

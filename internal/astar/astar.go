@@ -1,0 +1,280 @@
+// Package astar implements the A* algorithms for treewidth (algorithm
+// A*-tw, thesis ch. 5) and generalized hypertree width (algorithm A*-ghw,
+// thesis ch. 9).
+//
+// The search graph is the tree of elimination-ordering prefixes. Each state
+// carries g (the width of its prefix), h (a lower bound on the residual
+// problem) and f = max(g, h, parent f); states are expanded in ascending f
+// order, ties broken by preferring deeper states (§5.3). Because h is
+// admissible and f is monotone along paths, the first state whose residual
+// can be finished at no extra cost is optimal. On a node or memory budget
+// the f value of the last expanded state is a valid lower bound (§5.3).
+//
+// A single elimination graph is morphed between states by restoring and
+// re-eliminating along tree paths (§5.2.1); states store only their parent
+// link and vertex (§5.2.2), and closed states drop their child lists
+// (§5.2.3).
+package astar
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/elim"
+	"hypertree/internal/heur"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/reduce"
+	"hypertree/internal/search"
+)
+
+// Treewidth runs A*-tw on g.
+func Treewidth(g *hypergraph.Graph, opt search.Options) search.Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	return run(elim.New(g), search.TWMode(rng), opt)
+}
+
+// GHW runs A*-ghw on h.
+func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	return run(elim.New(h.PrimalGraph()), search.GHWMode(h, rng), opt)
+}
+
+// state is a node of the search tree (§5.2.2): the partial ordering is
+// recovered by following parent links.
+type state struct {
+	parent   *state
+	vertex   int // vertex eliminated to reach this state (-1 at root)
+	depth    int
+	g, f     int
+	reduced  bool
+	children []int // candidate successors (freed after expansion, §5.2.3)
+	index    int   // heap index
+}
+
+// queue is a priority queue ordered by (f asc, depth desc).
+type queue []*state
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].depth > q[j].depth
+}
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *queue) Push(x any) {
+	s := x.(*state)
+	s.index = len(*q)
+	*q = append(*q, s)
+}
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return s
+}
+
+const defaultMaxStates = 1 << 22
+
+func run(g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
+	n := g.Remaining()
+	if n == 0 {
+		return search.Result{Exact: true, Ordering: []int{}}
+	}
+	maxStates := opt.MaxMemoryStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ubOrder, _ := heur.MinFill(g, rng)
+	ub := search.OrderCost(g, mode, ubOrder)
+	lb := mode.RootLB(g)
+	if lb >= ub {
+		return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder}
+	}
+
+	root := &state{parent: nil, vertex: -1, depth: 0, g: 0, f: lb}
+	root.children, root.reduced = rootChildren(g, mode, opt, lb)
+
+	var q queue
+	heap.Init(&q)
+	heap.Push(&q, root)
+
+	// dominance: eliminated-set key → best g enqueued.
+	var dom map[string]int
+	if !opt.DisableDominance {
+		dom = make(map[string]int)
+	}
+
+	var nodes int64
+	states := 1
+	bestF := lb
+
+	// cur tracks the prefix currently applied to g (as a state pointer).
+	var cur *state
+
+	for q.Len() > 0 {
+		s := heap.Pop(&q).(*state)
+		nodes++
+		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
+			return search.Result{
+				Width: ub, LowerBound: min(bestF, ub), Exact: false,
+				Ordering: ubOrder, Nodes: nodes,
+			}
+		}
+		if s.f > bestF {
+			bestF = s.f // anytime lower bound (§5.3)
+		}
+		if s.f >= ub {
+			// Remaining open states cannot beat the heuristic solution.
+			return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder, Nodes: nodes}
+		}
+
+		cur = morph(g, cur, s)
+
+		// Goal test: the residual can be finished at no cost beyond s.g.
+		if finish := mode.FinishCost(g); finish <= s.g {
+			ordering := prefixOf(s)
+			g.ForEachRemaining(func(v int) { ordering = append(ordering, v) })
+			g.RestoreTo(0)
+			return search.Result{Width: s.g, LowerBound: s.g, Exact: true, Ordering: ordering, Nodes: nodes}
+		}
+
+		// Expand children.
+		for _, v := range s.children {
+			var childPR2 *bitset.Set
+			if !opt.DisablePR2 && !s.reduced {
+				childPR2 = search.PR2Pruned(g, v)
+			}
+			step := mode.StepCost(g, v)
+			cg := max(s.g, step)
+			if cg >= ub {
+				continue
+			}
+			g.Eliminate(v)
+
+			if dom != nil {
+				key := elimKey(g)
+				if prev, ok := dom[key]; ok && prev <= cg {
+					g.Restore()
+					continue
+				}
+				if len(dom) < maxDominanceEntries {
+					dom[key] = cg
+				}
+			}
+
+			h := mode.ResidualLB(g)
+			cf := max(cg, h, s.f)
+			if cf >= ub {
+				g.Restore()
+				continue
+			}
+			t := &state{parent: s, vertex: v, depth: s.depth + 1, g: cg, f: cf}
+			t.children, t.reduced = successors(g, mode, opt, cf, childPR2)
+			g.Restore()
+
+			heap.Push(&q, t)
+			states++
+			if states > maxStates {
+				g.RestoreTo(0)
+				return search.Result{
+					Width: ub, LowerBound: min(bestF, ub), Exact: false,
+					Ordering: ubOrder, Nodes: nodes,
+				}
+			}
+		}
+		s.children = nil // §5.2.3: free successor lists of closed states
+	}
+
+	// Queue exhausted without a goal: every state reached f ≥ ub, so the
+	// heuristic upper bound is optimal.
+	g.RestoreTo(0)
+	return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder, Nodes: nodes}
+}
+
+const maxDominanceEntries = 1 << 21
+
+// morph transforms the elimination graph from the prefix of state a to the
+// prefix of state b by restoring to their deepest common ancestor and
+// re-eliminating along b's path (§5.2.1).
+func morph(g *elim.Graph, a, b *state) *state {
+	if a == nil {
+		g.RestoreTo(0)
+		for _, v := range prefixOf(b) {
+			g.Eliminate(v)
+		}
+		return b
+	}
+	// Lift both to equal depth collecting b's tail.
+	var tail []int
+	x, y := a, b
+	for x.depth > y.depth {
+		x = x.parent
+	}
+	for y.depth > x.depth {
+		tail = append(tail, y.vertex)
+		y = y.parent
+	}
+	for x != y {
+		x = x.parent
+		tail = append(tail, y.vertex)
+		y = y.parent
+	}
+	g.RestoreTo(x.depth)
+	for i := len(tail) - 1; i >= 0; i-- {
+		g.Eliminate(tail[i])
+	}
+	return b
+}
+
+func prefixOf(s *state) []int {
+	out := make([]int, s.depth)
+	for t := s; t.parent != nil; t = t.parent {
+		out[t.depth-1] = t.vertex
+	}
+	return out
+}
+
+func elimKey(g *elim.Graph) string {
+	set := bitset.New(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Eliminated(v) {
+			set.Add(v)
+		}
+	}
+	return set.Key()
+}
+
+// rootChildren computes the root state's candidate list.
+func rootChildren(g *elim.Graph, mode search.Mode, opt search.Options, lb int) ([]int, bool) {
+	return successors(g, mode, opt, lb, nil)
+}
+
+// successors lists the candidate vertices of the current residual graph:
+// a forced simplicial / strongly almost simplicial vertex when the
+// reduction rule applies, otherwise all remaining vertices minus the PR2
+// pruned set.
+func successors(g *elim.Graph, mode search.Mode, opt search.Options, f int, pr2 *bitset.Set) ([]int, bool) {
+	if !opt.DisableReduction {
+		if v, ok := reduce.Find(g, f); ok {
+			return []int{v}, true
+		}
+	}
+	var out []int
+	g.ForEachRemaining(func(v int) {
+		if pr2 != nil && pr2.Contains(v) {
+			return
+		}
+		out = append(out, v)
+	})
+	return out, false
+}

@@ -1,0 +1,210 @@
+// Package bb implements the branch-and-bound algorithms for treewidth
+// (QuickBB / BB-tw style, thesis §4.4) and generalized hypertree width
+// (algorithm BB-ghw, thesis ch. 8).
+//
+// Both searches walk the tree of elimination-ordering prefixes depth-first,
+// maintaining the incumbent upper bound, and prune with:
+//   - the bound f = max(g, h, parent f) against the incumbent,
+//   - Pruning Rule 1 (finish-now bound, §4.4.5 / §8.3),
+//   - Pruning Rule 2 (order-swap dominance, §4.4.5),
+//   - the simplicial / strongly almost simplicial branching restriction
+//     (§4.4.3),
+//   - optional eliminated-set dominance caching (extension).
+//
+// Given enough budget the result is exact (Exact=true); under a node budget
+// the incumbent upper bound and the best proven lower bound are returned.
+package bb
+
+import (
+	"math/rand"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/elim"
+	"hypertree/internal/heur"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/reduce"
+	"hypertree/internal/search"
+)
+
+// Treewidth runs BB-tw on g.
+func Treewidth(g *hypergraph.Graph, opt search.Options) search.Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	return run(elim.New(g), search.TWMode(rng), rng, opt)
+}
+
+// GHW runs BB-ghw on h: branch and bound over elimination orderings with
+// exact set covers (Theorem 3 makes this space complete for ghw).
+func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	return run(elim.New(h.PrimalGraph()), search.GHWMode(h, rng), rng, opt)
+}
+
+type bbState struct {
+	g    *elim.Graph
+	mode search.Mode
+	opt  search.Options
+	rng  *rand.Rand
+
+	ub      int   // incumbent width
+	best    []int // incumbent ordering
+	prefix  []int // current elimination prefix
+	nodes   int64
+	stopped bool // node budget exhausted
+
+	// proven lower bound: min over open leaves of their f; tracked as the
+	// root bound plus improvements when the whole tree is closed.
+	rootF int
+
+	elimSet *bitset.Set    // incremental set of eliminated vertices
+	dom     map[string]int // eliminated-set key → best prefix cost seen
+}
+
+const maxDominanceEntries = 1 << 21
+
+// run executes the generic branch and bound.
+func run(g *elim.Graph, mode search.Mode, rng *rand.Rand, opt search.Options) search.Result {
+	s := &bbState{g: g, mode: mode, opt: opt, rng: rng}
+	if !opt.DisableDominance {
+		s.dom = make(map[string]int)
+	}
+
+	n := g.Remaining()
+	if n == 0 {
+		return search.Result{Exact: true, Ordering: []int{}}
+	}
+
+	// Initial bounds: min-fill upper bound, combined lower bound.
+	initOrder, _ := heur.MinFill(g, rng)
+	s.ub = search.OrderCost(g, mode, initOrder)
+	s.best = append([]int(nil), initOrder...)
+	lb := mode.RootLB(g)
+	s.rootF = lb
+	s.elimSet = bitset.New(g.NumVertices())
+
+	if lb >= s.ub {
+		return search.Result{Width: s.ub, LowerBound: s.ub, Exact: true, Ordering: s.best, Nodes: 0}
+	}
+
+	s.prefix = make([]int, 0, n)
+	s.dfs(0, lb, nil)
+
+	res := search.Result{Width: s.ub, Ordering: s.best, Nodes: s.nodes}
+	if s.stopped {
+		res.LowerBound = s.rootF
+		if res.LowerBound > res.Width {
+			res.LowerBound = res.Width
+		}
+	} else {
+		res.LowerBound = s.ub
+		res.Exact = true
+	}
+	return res
+}
+
+// dfs explores all completions of the current prefix. gc is the prefix
+// cost; pr2 is the set of candidates pruned by PR2 (nil when the parent was
+// produced by a reduction or PR2 is disabled).
+func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
+	if s.stopped {
+		return
+	}
+	s.nodes++
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.stopped = true
+		return
+	}
+
+	rem := s.g.Remaining()
+	if rem == 0 {
+		if gc < s.ub {
+			s.ub = gc
+			s.best = append(s.best[:0], s.prefix...)
+		}
+		return
+	}
+
+	// Pruning Rule 1: finishing now costs max(gc, finish).
+	finish := s.mode.FinishCost(s.g)
+	if w := max(gc, finish); w < s.ub {
+		s.ub = w
+		s.best = append(s.best[:0], s.prefix...)
+		s.g.ForEachRemaining(func(v int) { s.best = append(s.best, v) })
+	}
+	if finish <= gc {
+		return // no completion beats gc, which PR1 just recorded
+	}
+
+	// Reduction rule: branch only on a simplicial / strongly almost
+	// simplicial vertex when one exists.
+	var candidates []int
+	reduced := false
+	if !s.opt.DisableReduction {
+		if v, ok := reduce.Find(s.g, f); ok {
+			candidates = []int{v}
+			reduced = true
+		}
+	}
+	if candidates == nil {
+		s.g.ForEachRemaining(func(v int) {
+			if pr2 != nil && pr2.Contains(v) {
+				return
+			}
+			candidates = append(candidates, v)
+		})
+	}
+
+	for _, v := range candidates {
+		if s.stopped {
+			return
+		}
+		// Child bound pieces must be computed before elimination (PR2) and
+		// after (residual lower bound).
+		var childPR2 *bitset.Set
+		if !s.opt.DisablePR2 && !reduced {
+			childPR2 = search.PR2Pruned(s.g, v)
+		}
+		step := s.mode.StepCost(s.g, v)
+		cg := max(gc, step)
+		if cg >= s.ub {
+			continue
+		}
+		s.g.Eliminate(v)
+		s.prefix = append(s.prefix, v)
+		s.elimSet.Add(v)
+
+		if s.domPruned(cg) {
+			s.elimSet.Remove(v)
+			s.prefix = s.prefix[:len(s.prefix)-1]
+			s.g.Restore()
+			continue
+		}
+
+		h := s.mode.ResidualLB(s.g)
+		cf := max(cg, h, f)
+		if cf < s.ub {
+			s.dfs(cg, cf, childPR2)
+		}
+
+		s.elimSet.Remove(v)
+		s.prefix = s.prefix[:len(s.prefix)-1]
+		s.g.Restore()
+	}
+}
+
+// domPruned consults and updates the eliminated-set dominance cache. The
+// prefix cost cg is compared against the best cost with which the same
+// eliminated set was reached before; completions depend only on the set,
+// so a no-cheaper revisit cannot improve the incumbent.
+func (s *bbState) domPruned(cg int) bool {
+	if s.dom == nil {
+		return false
+	}
+	key := s.elimSet.Key()
+	if prev, ok := s.dom[key]; ok && prev <= cg {
+		return true
+	}
+	if len(s.dom) < maxDominanceEntries {
+		s.dom[key] = cg
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+// Package bitset provides dense, fixed-capacity bit sets used throughout the
+// decomposition algorithms for vertex sets and hyperedge sets.
+//
+// All algorithms in this module index vertices and hyperedges with small
+// non-negative integers, so a dense word-packed representation is both the
+// fastest and the simplest choice. The zero value of Set is an empty set of
+// capacity zero; use New to allocate capacity up front.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set. Sets grow automatically on Add, but the bulk
+// operations (Union, Intersect, …) require the receiver to have been sized by
+// New or a prior operation; they extend the receiver as needed.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity for values in [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func (s *Set) ensure(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	w := i / wordBits
+	s.ensure(w)
+	s.words[w] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites the receiver with the contents of o.
+func (s *Set) CopyFrom(o *Set) {
+	s.ensure(len(o.words) - 1)
+	copy(s.words, o.words)
+	for i := len(o.words); i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds every element of o to the receiver.
+func (s *Set) UnionWith(o *Set) {
+	s.ensure(len(o.words) - 1)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes every element not in o from the receiver.
+func (s *Set) IntersectWith(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes every element of o from the receiver.
+func (s *Set) DifferenceWith(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &^= o.words[i]
+		}
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	n := 0
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		n += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return n
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s *Set) Intersects(o *Set) bool {
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain the same elements.
+func (s *Set) Equal(o *Set) bool {
+	m := len(s.words)
+	if len(o.words) > m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		var sw, ow uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if sw != ow {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Trailing zero words are excluded so sets of different capacity but equal
+// contents share a key.
+func (s *Set) Key() string {
+	end := len(s.words)
+	for end > 0 && s.words[end-1] == 0 {
+		end--
+	}
+	var b strings.Builder
+	b.Grow(end * 8)
+	for i := 0; i < end; i++ {
+		w := s.words[i]
+		b.WriteByte(byte(w))
+		b.WriteByte(byte(w >> 8))
+		b.WriteByte(byte(w >> 16))
+		b.WriteByte(byte(w >> 24))
+		b.WriteByte(byte(w >> 32))
+		b.WriteByte(byte(w >> 40))
+		b.WriteByte(byte(w >> 48))
+		b.WriteByte(byte(w >> 56))
+	}
+	return b.String()
+}
+
+// String renders the set as "{1, 2, 5}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

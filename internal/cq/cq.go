@@ -1,0 +1,170 @@
+// Package cq implements conjunctive queries over relational databases,
+// evaluated through generalized hypertree decompositions — the database
+// side of the hypertree decomposition story: a CQ's hypergraph has one
+// vertex per variable and one hyperedge per atom, and queries of bounded
+// ghw are answerable in output-polynomial time via Yannakakis's algorithm
+// on the decomposition.
+//
+// Queries use Datalog notation: identifiers starting with an upper-case
+// letter are variables, everything else (including quoted strings and
+// numbers) is a constant.
+//
+//	ans(X, Z) :- r(X, Y), s(Y, Z), t(Z, a).
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypertree/internal/hypergraph"
+)
+
+// Term is a variable or constant occurring in an atom.
+type Term struct {
+	// Value is the variable name or constant text.
+	Value string
+	// IsVar reports whether the term is a variable.
+	IsVar bool
+}
+
+// Atom is one body atom: a relation name applied to terms.
+type Atom struct {
+	Relation string
+	Terms    []Term
+}
+
+// Query is a conjunctive query with a head (answer variables) and a body.
+type Query struct {
+	// Head lists the answer variables; empty for a Boolean query.
+	Head []string
+	// Body lists the atoms.
+	Body []Atom
+}
+
+// Vars returns the distinct variables of the body in first-occurrence
+// order.
+func (q *Query) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Body {
+		for _, t := range a.Terms {
+			if t.IsVar && !seen[t.Value] {
+				seen[t.Value] = true
+				out = append(out, t.Value)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that the query is safe (every head variable occurs in
+// the body) and structurally sound.
+func (q *Query) Validate() error {
+	if len(q.Body) == 0 {
+		return fmt.Errorf("cq: empty body")
+	}
+	bodyVars := map[string]bool{}
+	for _, v := range q.Vars() {
+		bodyVars[v] = true
+	}
+	for _, h := range q.Head {
+		if !bodyVars[h] {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", h)
+		}
+	}
+	return nil
+}
+
+// Hypergraph returns the query hypergraph: vertices are variables, one
+// hyperedge per atom over its variables. Atom order is preserved as edge
+// order, so edge index e corresponds to q.Body[e].
+func (q *Query) Hypergraph() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	for _, v := range q.Vars() {
+		b.Vertex(v)
+	}
+	for i, a := range q.Body {
+		var vars []string
+		seen := map[string]bool{}
+		for _, t := range a.Terms {
+			if t.IsVar && !seen[t.Value] {
+				seen[t.Value] = true
+				vars = append(vars, t.Value)
+			}
+		}
+		name := fmt.Sprintf("%s#%d", a.Relation, i)
+		if len(vars) == 0 {
+			// Fully ground atom: hypergraphs need non-empty edges; give it
+			// a fresh dummy vertex so decomposition machinery stays happy.
+			dummy := fmt.Sprintf("_ground%d", i)
+			b.AddEdge(name, dummy)
+			continue
+		}
+		b.AddEdge(name, vars...)
+	}
+	return b.Build()
+}
+
+// String renders the query in Datalog notation.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("ans(")
+	b.WriteString(strings.Join(q.Head, ", "))
+	b.WriteString(") :- ")
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Relation)
+		b.WriteByte('(')
+		for j, t := range a.Terms {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.Value)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Database maps relation names to their tuples (rows of constants).
+type Database struct {
+	relations map[string][][]string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: map[string][][]string{}}
+}
+
+// Add appends a tuple to the named relation.
+func (db *Database) Add(relation string, tuple ...string) {
+	db.relations[relation] = append(db.relations[relation], tuple)
+}
+
+// Relation returns the tuples of the named relation.
+func (db *Database) Relation(name string) [][]string {
+	return db.relations[name]
+}
+
+// Relations lists the relation names, sorted.
+func (db *Database) Relations() []string {
+	out := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of tuples.
+func (db *Database) Size() int {
+	n := 0
+	for _, rows := range db.relations {
+		n += len(rows)
+	}
+	return n
+}

@@ -1,0 +1,381 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hypertree/internal/csp"
+	"hypertree/internal/decomp"
+	"hypertree/internal/elim"
+	"hypertree/internal/heur"
+	"hypertree/internal/order"
+)
+
+// Evaluate answers the query over the database by building a generalized
+// hypertree decomposition of the query hypergraph (min-fill ordering,
+// exact covers) and running Yannakakis's algorithm over it: full reducer
+// (bottom-up + top-down semijoins) followed by a bottom-up join pass that
+// keeps only head and connector variables, giving output-polynomial
+// evaluation for queries of bounded ghw. Results use set semantics and are
+// sorted for determinism.
+func Evaluate(q *Query, db *Database) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	h := q.Hypergraph()
+	o, _ := heur.MinFill(elim.New(h.PrimalGraph()), rand.New(rand.NewSource(1)))
+	d := order.GHD(h, o, nil, true)
+	return EvaluateWith(q, db, d)
+}
+
+// Boolean answers a Boolean query: does any assignment satisfy the body?
+func Boolean(q *Query, db *Database) (bool, error) {
+	rows, err := Evaluate(q, db)
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// EvaluateWith answers the query using a caller-supplied decomposition of
+// q.Hypergraph() (e.g. a width-optimal one from the exact searches).
+func EvaluateWith(q *Query, db *Database, d *decomp.Decomposition) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	in, err := newInstance(q, db, d.H.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	if in.empty {
+		return nil, nil
+	}
+	d.Complete()
+
+	// Per-node relations R_p = π_χ(⋈ λ atoms).
+	nodeRel := make(map[*decomp.Node]*csp.Relation, d.NumNodes())
+	for _, n := range d.Nodes() {
+		if len(n.Lambda) == 0 {
+			nodeRel[n] = &csp.Relation{Tuples: [][]int{{}}}
+			continue
+		}
+		joined := in.atomRel[n.Lambda[0]].Clone()
+		for _, e := range n.Lambda[1:] {
+			joined = csp.Join(joined, in.atomRel[e])
+			if joined.Size() == 0 {
+				break
+			}
+		}
+		nodeRel[n] = csp.Project(joined, n.Chi.Slice())
+		if nodeRel[n].Size() == 0 {
+			return nil, nil
+		}
+	}
+
+	// Full reducer.
+	post := postorder(d)
+	for _, n := range post {
+		if n.Parent == nil || len(nodeRel[n.Parent].Scope) == 0 || len(nodeRel[n].Scope) == 0 {
+			continue
+		}
+		nodeRel[n.Parent] = csp.Semijoin(nodeRel[n.Parent], nodeRel[n])
+		if nodeRel[n.Parent].Size() == 0 {
+			return nil, nil
+		}
+	}
+	pre := preorder(d)
+	for _, n := range pre {
+		for _, ch := range n.Children {
+			if len(nodeRel[n].Scope) == 0 || len(nodeRel[ch].Scope) == 0 {
+				continue
+			}
+			nodeRel[ch] = csp.Semijoin(nodeRel[ch], nodeRel[n])
+		}
+	}
+
+	// Output pass: postorder joins keeping head ∪ connector variables.
+	headSet := map[int]bool{}
+	for _, hv := range q.Head {
+		v := in.varIndex[hv]
+		headSet[v] = true
+	}
+	result := make(map[*decomp.Node]*csp.Relation, d.NumNodes())
+	for _, n := range post {
+		joined := nodeRel[n]
+		for _, ch := range n.Children {
+			joined = csp.Join(joined, result[ch])
+		}
+		var keep []int
+		seen := map[int]bool{}
+		for _, v := range joined.Scope {
+			inParent := n.Parent != nil && n.Parent.Chi.Contains(v)
+			if (headSet[v] || inParent) && !seen[v] {
+				seen[v] = true
+				keep = append(keep, v)
+			}
+		}
+		result[n] = csp.Project(joined, keep)
+	}
+
+	root := result[d.Root]
+	// Assemble output rows in head order.
+	colOf := make([]int, len(q.Head))
+	for i, hv := range q.Head {
+		v := in.varIndex[hv]
+		colOf[i] = -1
+		for j, sv := range root.Scope {
+			if sv == v {
+				colOf[i] = j
+			}
+		}
+		if colOf[i] < 0 {
+			return nil, fmt.Errorf("cq: internal error: head variable %s lost during evaluation", hv)
+		}
+	}
+	if len(q.Head) == 0 {
+		// Boolean query: report one empty row when satisfiable.
+		if root.Size() > 0 {
+			return [][]string{{}}, nil
+		}
+		return nil, nil
+	}
+	dedupe := map[string]bool{}
+	var rows [][]string
+	for _, t := range root.Tuples {
+		row := make([]string, len(q.Head))
+		key := ""
+		for i, c := range colOf {
+			row[i] = in.value(t[c])
+			key += row[i] + "\x00"
+		}
+		if !dedupe[key] {
+			dedupe[key] = true
+			rows = append(rows, row)
+		}
+	}
+	sortRows(rows)
+	return rows, nil
+}
+
+// instance interns the database against the query structure.
+type instance struct {
+	varIndex map[string]int // query variable → hypergraph vertex index
+	dict     []string       // interned constants
+	dictIdx  map[string]int
+	atomRel  []*csp.Relation // per body atom, scope = its vertex indices
+	empty    bool            // a ground atom failed: no answers
+}
+
+func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
+	h := q.Hypergraph()
+	in := &instance{
+		varIndex: map[string]int{},
+		dictIdx:  map[string]int{},
+	}
+	for _, v := range q.Vars() {
+		idx := h.VertexIndex(v)
+		if idx < 0 {
+			return nil, fmt.Errorf("cq: internal error: variable %s missing from hypergraph", v)
+		}
+		in.varIndex[v] = idx
+	}
+
+	for i, a := range q.Body {
+		rows := db.Relation(a.Relation)
+		// Distinct variables of the atom, in hypergraph order.
+		var scope []int
+		seenV := map[string]bool{}
+		for _, t := range a.Terms {
+			if t.IsVar && !seenV[t.Value] {
+				seenV[t.Value] = true
+				scope = append(scope, in.varIndex[t.Value])
+			}
+		}
+		groundOK := false
+		rel := &csp.Relation{Scope: scope}
+		dedupe := map[string]bool{}
+		for _, row := range rows {
+			if len(row) != len(a.Terms) {
+				return nil, fmt.Errorf("cq: relation %s has arity %d, atom uses %d",
+					a.Relation, len(row), len(a.Terms))
+			}
+			// Check constants and repeated variables.
+			binding := map[string]string{}
+			ok := true
+			for j, t := range a.Terms {
+				if !t.IsVar {
+					if row[j] != t.Value {
+						ok = false
+						break
+					}
+					continue
+				}
+				if prev, bound := binding[t.Value]; bound {
+					if prev != row[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[t.Value] = row[j]
+			}
+			if !ok {
+				continue
+			}
+			groundOK = true
+			if len(scope) == 0 {
+				continue
+			}
+			// Fill the tuple in hypergraph-scope order.
+			tuple := make([]int, len(scope))
+			key := ""
+			for si, v := range scope {
+				name := varName(q, a, v, in)
+				tuple[si] = in.intern(binding[name])
+				key += binding[name] + "\x00"
+			}
+			if !dedupe[key] {
+				dedupe[key] = true
+				rel.Tuples = append(rel.Tuples, tuple)
+			}
+		}
+		if len(scope) == 0 {
+			// Ground atom: represent via its dummy vertex with a single
+			// tuple when satisfied.
+			dummyIdx := -1
+			es := h.EdgeSet(i)
+			es.ForEach(func(v int) bool { dummyIdx = v; return false })
+			rel = &csp.Relation{Scope: []int{dummyIdx}}
+			if groundOK {
+				rel.Tuples = [][]int{{in.intern("_")}}
+			} else {
+				in.empty = true
+			}
+		}
+		in.atomRel = append(in.atomRel, rel)
+	}
+	return in, nil
+}
+
+// varName finds the variable name whose hypergraph index is v among the
+// atom's terms.
+func varName(q *Query, a Atom, v int, in *instance) string {
+	for _, t := range a.Terms {
+		if t.IsVar && in.varIndex[t.Value] == v {
+			return t.Value
+		}
+	}
+	return ""
+}
+
+func (in *instance) intern(s string) int {
+	if i, ok := in.dictIdx[s]; ok {
+		return i
+	}
+	i := len(in.dict)
+	in.dict = append(in.dict, s)
+	in.dictIdx[s] = i
+	return i
+}
+
+func (in *instance) value(i int) string { return in.dict[i] }
+
+func postorder(d *decomp.Decomposition) []*decomp.Node {
+	var out []*decomp.Node
+	var rec func(n *decomp.Node)
+	rec = func(n *decomp.Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		out = append(out, n)
+	}
+	rec(d.Root)
+	return out
+}
+
+func preorder(d *decomp.Decomposition) []*decomp.Node {
+	var out []*decomp.Node
+	var rec func(n *decomp.Node)
+	rec = func(n *decomp.Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(d.Root)
+	return out
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// NaiveEvaluate answers the query by a nested-loop join over all atoms —
+// the reference implementation the decomposition-based evaluator is tested
+// against. Exponential in the number of atoms.
+func NaiveEvaluate(q *Query, db *Database) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	dedupe := map[string]bool{}
+	var rec func(i int, binding map[string]string)
+	rec = func(i int, binding map[string]string) {
+		if i == len(q.Body) {
+			row := make([]string, len(q.Head))
+			key := ""
+			for k, hv := range q.Head {
+				row[k] = binding[hv]
+				key += row[k] + "\x00"
+			}
+			if !dedupe[key] {
+				dedupe[key] = true
+				rows = append(rows, row)
+			}
+			return
+		}
+		a := q.Body[i]
+		for _, tuple := range db.Relation(a.Relation) {
+			if len(tuple) != len(a.Terms) {
+				continue
+			}
+			local := map[string]string{}
+			ok := true
+			for j, t := range a.Terms {
+				if !t.IsVar {
+					ok = tuple[j] == t.Value
+				} else if prev, bound := binding[t.Value]; bound {
+					ok = prev == tuple[j]
+				} else if prev, bound := local[t.Value]; bound {
+					ok = prev == tuple[j]
+				} else {
+					local[t.Value] = tuple[j]
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for k, v := range local {
+				binding[k] = v
+			}
+			rec(i+1, binding)
+			for k := range local {
+				delete(binding, k)
+			}
+		}
+	}
+	rec(0, map[string]string{})
+	sortRows(rows)
+	return rows, nil
+}

@@ -1,0 +1,176 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in Datalog notation:
+//
+//	ans(X, Z) :- r(X, Y), s(Y, Z), t(Z, a).
+//
+// Identifiers beginning with an upper-case letter (or '_') are variables;
+// other identifiers, numbers and single-quoted strings are constants. The
+// head relation name is arbitrary; the final period is optional.
+func Parse(input string) (*Query, error) {
+	p := &parser{input: input}
+	return p.parse()
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) parse() (*Query, error) {
+	q := &Query{}
+	// Head.
+	if _, err := p.ident(); err != nil {
+		return nil, fmt.Errorf("cq: missing head: %w", err)
+	}
+	terms, err := p.termList()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range terms {
+		if !t.IsVar {
+			return nil, fmt.Errorf("cq: head term %q must be a variable", t.Value)
+		}
+		q.Head = append(q.Head, t.Value)
+	}
+	p.skipSpace()
+	if !p.consume(":-") {
+		return nil, fmt.Errorf("cq: expected ':-' at offset %d", p.pos)
+	}
+	// Body atoms.
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, fmt.Errorf("cq: expected atom: %w", err)
+		}
+		terms, err := p.termList()
+		if err != nil {
+			return nil, err
+		}
+		q.Body = append(q.Body, Atom{Relation: name, Terms: terms})
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) {
+		return nil, fmt.Errorf("cq: trailing input at offset %d", p.pos)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.input[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) && isIdentByte(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", start)
+	}
+	return p.input[start:p.pos], nil
+}
+
+// termList parses "(t1, t2, …)". An empty list "()" is allowed.
+func (p *parser) termList() ([]Term, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("cq: expected '(' at offset %d", p.pos)
+	}
+	p.pos++
+	var terms []Term
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return terms, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return terms, nil
+		default:
+			return nil, fmt.Errorf("cq: expected ',' or ')' at offset %d", p.pos)
+		}
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	// Quoted constant.
+	if p.peek() == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return Term{}, fmt.Errorf("cq: unterminated quoted constant at offset %d", start)
+		}
+		val := p.input[start:p.pos]
+		p.pos++
+		return Term{Value: val, IsVar: false}, nil
+	}
+	id, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	first := rune(id[0])
+	isVar := first == '_' || unicode.IsUpper(first)
+	return Term{Value: id, IsVar: isVar}, nil
+}

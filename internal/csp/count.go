@@ -1,0 +1,126 @@
+package csp
+
+import (
+	"fmt"
+
+	"hypertree/internal/decomp"
+)
+
+// CountFromTD counts the complete consistent assignments of c using a tree
+// decomposition of its constraint hypergraph: the standard dynamic program
+// over the join tree of subproblem relations, O(n·d^{k+1}) like solving.
+// Unconstrained variables multiply the count by their domain sizes.
+func CountFromTD(c *CSP, d *decomp.Decomposition) (int, error) {
+	if err := d.ValidateTD(); err != nil {
+		return 0, fmt.Errorf("csp: invalid tree decomposition: %w", err)
+	}
+	if d.H.NumVertices() != c.NumVars() || d.H.NumEdges() != len(c.Constraints) {
+		return 0, fmt.Errorf("csp: decomposition hypergraph does not match CSP shape")
+	}
+	placed := make(map[*decomp.Node][]*Constraint)
+	for e, con := range c.Constraints {
+		es := d.H.EdgeSet(e)
+		var host *decomp.Node
+		for _, n := range d.Nodes() {
+			if es.SubsetOf(n.Chi) {
+				host = n
+				break
+			}
+		}
+		if host == nil {
+			return 0, fmt.Errorf("csp: constraint %s not covered", con.Name)
+		}
+		placed[host] = append(placed[host], con)
+	}
+	nodeRel := make(map[*decomp.Node]*Relation, d.NumNodes())
+	for _, n := range d.Nodes() {
+		rel, err := enumerateSubproblem(c, n.Chi.Slice(), placed[n])
+		if err != nil {
+			return 0, err
+		}
+		nodeRel[n] = rel
+	}
+	return countOverTree(c, d, nodeRel)
+}
+
+// CountFromGHD counts models from a generalized hypertree decomposition
+// (completed first, Lemma 2), with per-node relations
+// R_p = π_{χ(p)}(⋈_{h∈λ(p)} R_h).
+func CountFromGHD(c *CSP, d *decomp.Decomposition) (int, error) {
+	if err := d.ValidateGHD(); err != nil {
+		return 0, fmt.Errorf("csp: invalid generalized hypertree decomposition: %w", err)
+	}
+	if d.H.NumVertices() != c.NumVars() || d.H.NumEdges() != len(c.Constraints) {
+		return 0, fmt.Errorf("csp: decomposition hypergraph does not match CSP shape")
+	}
+	d.Complete()
+	nodeRel := make(map[*decomp.Node]*Relation, d.NumNodes())
+	for _, n := range d.Nodes() {
+		chi := n.Chi.Slice()
+		if len(n.Lambda) == 0 {
+			nodeRel[n] = &Relation{Tuples: [][]int{{}}}
+			continue
+		}
+		joined := c.Constraints[n.Lambda[0]].Rel.Clone()
+		for _, e := range n.Lambda[1:] {
+			joined = Join(joined, c.Constraints[e].Rel)
+			if joined.Size() == 0 {
+				break
+			}
+		}
+		nodeRel[n] = Project(joined, chi)
+	}
+	return countOverTree(c, d, nodeRel)
+}
+
+// countOverTree runs the counting dynamic program: postorder, each tuple of
+// a node carries the number of extensions into its subtree's private
+// variables. Connectedness guarantees that a child's overlap with the rest
+// of the tree goes through its parent, so per-child sums multiply.
+func countOverTree(c *CSP, d *decomp.Decomposition, nodeRel map[*decomp.Node]*Relation) (int, error) {
+	weights := make(map[*decomp.Node][]int, d.NumNodes())
+	post := postorderNodes(d)
+	for _, n := range post {
+		r := nodeRel[n]
+		w := make([]int, len(r.Tuples))
+		for ti := range r.Tuples {
+			w[ti] = 1
+		}
+		for _, ch := range n.Children {
+			cr := nodeRel[ch]
+			cw := weights[ch]
+			shared := sharedVars(cr, r)
+			// Index child tuples by shared values, summing weights, and
+			// also track the variables the child adds ("private"): the sum
+			// of weights of matching child tuples is the number of subtree
+			// extensions.
+			sums := make(map[string]int)
+			for ci, ct := range cr.Tuples {
+				sums[cr.key(ct, shared)] += cw[ci]
+			}
+			for ti, t := range r.Tuples {
+				w[ti] *= sums[r.key(t, shared)]
+			}
+		}
+		weights[n] = w
+	}
+	total := 0
+	rootR := nodeRel[d.Root]
+	for ti := range rootR.Tuples {
+		total += weights[d.Root][ti]
+	}
+	// Variables appearing in no node's scope are unconstrained: multiply by
+	// their domain sizes.
+	inScope := make([]bool, c.NumVars())
+	for _, n := range post {
+		for _, v := range nodeRel[n].Scope {
+			inScope[v] = true
+		}
+	}
+	for v, ok := range inScope {
+		if !ok {
+			total *= len(c.Domains[v])
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,88 @@
+package csp
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "variables": [
+    {"name": "x", "domain": ["red", "green"]},
+    {"name": "y", "domain": ["red", "green"]},
+    {"name": "z", "domain": ["red", "green", "blue"]}
+  ],
+  "constraints": [
+    {"name": "xy", "scope": ["x", "y"],
+     "tuples": [["red", "green"], ["green", "red"]]},
+    {"name": "yz", "scope": ["y", "z"],
+     "tuples": [["red", "green"], ["green", "blue"], ["red", "blue"]]}
+  ]
+}`
+
+func TestReadJSON(t *testing.T) {
+	c, names, err := ReadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVars() != 3 || len(c.Constraints) != 2 {
+		t.Fatalf("shape %d vars %d constraints", c.NumVars(), len(c.Constraints))
+	}
+	if names[2][2] != "blue" {
+		t.Fatalf("value names = %v", names)
+	}
+	sol, ok := c.SolveBacktracking()
+	if !ok {
+		t.Fatal("sample must be satisfiable")
+	}
+	rendered := FormatSolution(c, names, sol)
+	if !strings.Contains(rendered, "x = ") {
+		t.Fatalf("rendered solution:\n%s", rendered)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c, names, err := ReadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, c, names); err != nil {
+		t.Fatal(err)
+	}
+	c2, names2, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+	}
+	if c2.NumVars() != c.NumVars() || len(c2.Constraints) != len(c.Constraints) {
+		t.Fatal("round trip changed shape")
+	}
+	if names2[2][2] != "blue" {
+		t.Fatal("round trip lost value names")
+	}
+	if c.CountSolutions() != c2.CountSolutions() {
+		t.Fatal("round trip changed solution count")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{"variables": []}`,
+		`{"variables": [{"name": "", "domain": ["a"]}]}`,
+		`{"variables": [{"name": "x", "domain": []}]}`,
+		`{"variables": [{"name": "x", "domain": ["a"]}, {"name": "x", "domain": ["a"]}]}`,
+		`{"variables": [{"name": "x", "domain": ["a", "a"]}]}`,
+		`{"variables": [{"name": "x", "domain": ["a"]}],
+		  "constraints": [{"scope": ["nope"], "tuples": []}]}`,
+		`{"variables": [{"name": "x", "domain": ["a"]}],
+		  "constraints": [{"scope": ["x"], "tuples": [["a", "b"]]}]}`,
+		`{"variables": [{"name": "x", "domain": ["a"]}],
+		  "constraints": [{"scope": ["x"], "tuples": [["z"]]}]}`,
+		`{"bogus": 1}`,
+	}
+	for _, in := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadJSON(%q) succeeded", in)
+		}
+	}
+}

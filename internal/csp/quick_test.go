@@ -1,0 +1,137 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/order"
+)
+
+func quickCfgCSP() *quick.Config {
+	return &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(123))}
+}
+
+// relFromSeed builds a small random relation deterministically.
+func relFromSeed(seed int64, scopeBase int) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	arity := 1 + rng.Intn(3)
+	scope := make([]int, arity)
+	perm := rng.Perm(5)
+	for i := range scope {
+		scope[i] = perm[i] + scopeBase
+	}
+	var tuples [][]int
+	seen := map[string]bool{}
+	for i := 0; i < rng.Intn(9); i++ {
+		t := make([]int, arity)
+		for j := range t {
+			t[j] = rng.Intn(3)
+		}
+		r := &Relation{Scope: scope}
+		k := r.key(t, scope)
+		if !seen[k] {
+			seen[k] = true
+			tuples = append(tuples, t)
+		}
+	}
+	return NewRelation(scope, tuples)
+}
+
+// Property: semijoin result is always a subset of the left argument and
+// idempotent: (a ⋉ b) ⋉ b = a ⋉ b.
+func TestQuickSemijoinSubsetIdempotent(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := relFromSeed(s1, 0)
+		b := relFromSeed(s2, 2) // overlapping variable ranges
+		sj := Semijoin(a, b)
+		if sj.Size() > a.Size() {
+			return false
+		}
+		again := Semijoin(sj, b)
+		if again.Size() != sj.Size() {
+			return false
+		}
+		// Every surviving tuple must appear in a.
+		inA := map[string]bool{}
+		for _, ta := range a.Tuples {
+			inA[a.key(ta, a.Scope)] = true
+		}
+		for _, ts := range sj.Tuples {
+			if !inA[sj.key(ts, sj.Scope)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfgCSP()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |a ⋈ b| ≤ |a|·|b| and join with itself on identical scope is
+// the relation itself (after dedup both ways).
+func TestQuickJoinBounds(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := relFromSeed(s1, 0)
+		b := relFromSeed(s2, 1)
+		j := Join(a, b)
+		if j.Size() > a.Size()*b.Size() {
+			return false
+		}
+		self := Join(a, a)
+		return self.Size() == a.Size()
+	}
+	if err := quick.Check(f, quickCfgCSP()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection never increases cardinality and is idempotent.
+func TestQuickProjectIdempotent(t *testing.T) {
+	f := func(s1 int64, keepMask uint8) bool {
+		a := relFromSeed(s1, 0)
+		var keep []int
+		for i, v := range a.Scope {
+			if keepMask&(1<<uint(i%8)) != 0 {
+				keep = append(keep, v)
+			}
+		}
+		p := Project(a, keep)
+		if p.Size() > a.Size() {
+			return false
+		}
+		pp := Project(p, keep)
+		return pp.Size() == p.Size()
+	}
+	if err := quick.Check(f, quickCfgCSP()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solving from decompositions agrees with backtracking on
+// satisfiability (quick-checked variant of invariant 7).
+func TestQuickDecompositionSolvingAgreesWithBacktracking(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCSP(rng, 5, 4, 2, 3)
+		_, want := c.SolveBacktracking()
+		h := c.Hypergraph()
+		o := make([]int, h.NumVertices())
+		for i := range o {
+			o[i] = i
+		}
+		rng.Shuffle(len(o), func(i, j int) { o[i], o[j] = o[j], o[i] })
+		sol, got, err := SolveFromTD(c, order.VertexElimination(h, o))
+		if err != nil || got != want {
+			return false
+		}
+		if got && !c.Check(sol) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfgCSP()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package csp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a finite relation over a scope of variable indices: Tuples[i]
+// is a row whose j-th entry is the value of variable Scope[j].
+type Relation struct {
+	Scope  []int
+	Tuples [][]int
+}
+
+// NewRelation returns a relation with the given scope and rows. Rows are
+// used as-is; the caller must not alias them afterwards.
+func NewRelation(scope []int, tuples [][]int) *Relation {
+	return &Relation{Scope: append([]int(nil), scope...), Tuples: tuples}
+}
+
+// Arity returns the number of scope variables.
+func (r *Relation) Arity() int { return len(r.Scope) }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.Tuples) }
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	t := make([][]int, len(r.Tuples))
+	for i, row := range r.Tuples {
+		t[i] = append([]int(nil), row...)
+	}
+	return NewRelation(r.Scope, t)
+}
+
+// pos returns the scope position of variable v, or −1.
+func (r *Relation) pos(v int) int {
+	for i, s := range r.Scope {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedVars returns the variables occurring in both scopes.
+func sharedVars(a, b *Relation) []int {
+	var shared []int
+	for _, v := range a.Scope {
+		if b.pos(v) >= 0 {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+// key renders the values of tuple t (from relation r) at the given
+// variables as a hashable string.
+func (r *Relation) key(t []int, vars []int) string {
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%d,", t[r.pos(v)])
+	}
+	return b.String()
+}
+
+// Join returns the natural join a ⋈ b.
+func Join(a, b *Relation) *Relation {
+	shared := sharedVars(a, b)
+	// Output scope: a's scope followed by b's private variables.
+	outScope := append([]int(nil), a.Scope...)
+	var bPrivate []int
+	for _, v := range b.Scope {
+		if a.pos(v) < 0 {
+			outScope = append(outScope, v)
+			bPrivate = append(bPrivate, v)
+		}
+	}
+	// Hash join on the shared variables.
+	index := make(map[string][][]int)
+	for _, tb := range b.Tuples {
+		k := b.key(tb, shared)
+		index[k] = append(index[k], tb)
+	}
+	out := &Relation{Scope: outScope}
+	for _, ta := range a.Tuples {
+		k := a.key(ta, shared)
+		for _, tb := range index[k] {
+			row := make([]int, 0, len(outScope))
+			row = append(row, ta...)
+			for _, v := range bPrivate {
+				row = append(row, tb[b.pos(v)])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// Semijoin returns a ⋉ b: the tuples of a that join with some tuple of b.
+func Semijoin(a, b *Relation) *Relation {
+	shared := sharedVars(a, b)
+	if len(shared) == 0 {
+		// A tuple of a survives iff b is non-empty.
+		if len(b.Tuples) == 0 {
+			return &Relation{Scope: append([]int(nil), a.Scope...)}
+		}
+		return a.Clone()
+	}
+	seen := make(map[string]bool)
+	for _, tb := range b.Tuples {
+		seen[b.key(tb, shared)] = true
+	}
+	out := &Relation{Scope: append([]int(nil), a.Scope...)}
+	for _, ta := range a.Tuples {
+		if seen[a.key(ta, shared)] {
+			out.Tuples = append(out.Tuples, append([]int(nil), ta...))
+		}
+	}
+	return out
+}
+
+// Project returns π_vars(r) with duplicates removed. Variables not in r's
+// scope are ignored.
+func Project(r *Relation, vars []int) *Relation {
+	var keep []int
+	for _, v := range vars {
+		if r.pos(v) >= 0 {
+			keep = append(keep, v)
+		}
+	}
+	out := &Relation{Scope: keep}
+	seen := make(map[string]bool)
+	for _, t := range r.Tuples {
+		row := make([]int, len(keep))
+		for i, v := range keep {
+			row[i] = t[r.pos(v)]
+		}
+		k := fmt.Sprint(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// Sorted returns the tuples in lexicographic order (for stable tests).
+func (r *Relation) Sorted() [][]int {
+	out := make([][]int, len(r.Tuples))
+	copy(out, r.Tuples)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "R%v%v", r.Scope, r.Sorted())
+	return b.String()
+}

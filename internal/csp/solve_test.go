@@ -1,0 +1,256 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/order"
+)
+
+// example5CSP is thesis Example 5 with its concrete relations.
+func example5CSP() *CSP {
+	// Domains: x1 ∈ {a,b}=0,1 ; x2..x6 ∈ {b,c}=1,2.
+	c := &CSP{
+		VarNames: []string{"x1", "x2", "x3", "x4", "x5", "x6"},
+		Domains:  [][]int{{0, 1}, {1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}},
+	}
+	// a=0, b=1, c=2.
+	c.Constraints = []*Constraint{
+		{Name: "C1", Rel: NewRelation([]int{0, 1, 2}, [][]int{{0, 1, 2}, {0, 2, 1}, {1, 1, 2}})},
+		{Name: "C2", Rel: NewRelation([]int{0, 4, 5}, [][]int{{0, 1, 2}, {0, 2, 1}})},
+		{Name: "C3", Rel: NewRelation([]int{2, 3, 4}, [][]int{{2, 1, 2}, {2, 2, 1}})},
+	}
+	return c
+}
+
+func randomCSP(rng *rand.Rand, nVars, nCons, domainSize, maxArity int) *CSP {
+	c := &CSP{VarNames: make([]string, nVars), Domains: make([][]int, nVars)}
+	for v := 0; v < nVars; v++ {
+		c.VarNames[v] = "v" + string(rune('0'+v))
+		dom := make([]int, domainSize)
+		for i := range dom {
+			dom[i] = i
+		}
+		c.Domains[v] = dom
+	}
+	for k := 0; k < nCons; k++ {
+		arity := 1 + rng.Intn(maxArity)
+		scope := rng.Perm(nVars)[:arity]
+		// Random relation keeping each tuple with probability ~0.6.
+		var tuples [][]int
+		total := 1
+		for i := 0; i < arity; i++ {
+			total *= domainSize
+		}
+		for mask := 0; mask < total; mask++ {
+			if rng.Float64() < 0.6 {
+				t := make([]int, arity)
+				m := mask
+				for i := range t {
+					t[i] = m % domainSize
+					m /= domainSize
+				}
+				tuples = append(tuples, t)
+			}
+		}
+		c.Constraints = append(c.Constraints, &Constraint{
+			Name: "c" + string(rune('a'+k)),
+			Rel:  NewRelation(scope, tuples),
+		})
+	}
+	return c
+}
+
+func TestBuildJoinTreeAcyclic(t *testing.T) {
+	// Acyclic: scopes {0,1,2}, {2,3}, {3,4} chain.
+	c := &CSP{
+		VarNames: []string{"a", "b", "c", "d", "e"},
+		Domains:  [][]int{{0}, {0}, {0}, {0}, {0}},
+		Constraints: []*Constraint{
+			{Name: "r1", Rel: NewRelation([]int{0, 1, 2}, [][]int{{0, 0, 0}})},
+			{Name: "r2", Rel: NewRelation([]int{2, 3}, [][]int{{0, 0}})},
+			{Name: "r3", Rel: NewRelation([]int{3, 4}, [][]int{{0, 0}})},
+		},
+	}
+	jt, ok := BuildJoinTree(c)
+	if !ok {
+		t.Fatal("chain CSP must be acyclic")
+	}
+	if len(jt.Nodes) != 3 {
+		t.Fatalf("join tree nodes = %d", len(jt.Nodes))
+	}
+	if !IsAcyclic(c) {
+		t.Fatal("IsAcyclic disagrees")
+	}
+}
+
+func TestBuildJoinTreeCyclic(t *testing.T) {
+	// Triangle of binary constraints is the canonical cyclic CSP.
+	c := &CSP{
+		VarNames: []string{"a", "b", "c"},
+		Domains:  [][]int{{0, 1}, {0, 1}, {0, 1}},
+		Constraints: []*Constraint{
+			{Name: "ab", Rel: NewRelation([]int{0, 1}, [][]int{{0, 1}})},
+			{Name: "bc", Rel: NewRelation([]int{1, 2}, [][]int{{1, 0}})},
+			{Name: "ca", Rel: NewRelation([]int{2, 0}, [][]int{{0, 0}})},
+		},
+	}
+	if IsAcyclic(c) {
+		t.Fatal("triangle CSP must be cyclic")
+	}
+}
+
+func TestSolveAcyclicMatchesBacktracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	acyclicSeen := 0
+	for trial := 0; trial < 200 && acyclicSeen < 40; trial++ {
+		c := randomCSP(rng, 5, 4, 2, 3)
+		jt, ok := BuildJoinTree(c)
+		if !ok {
+			continue
+		}
+		acyclicSeen++
+		sol, sat := SolveAcyclic(c, jt)
+		_, wantSat := c.SolveBacktracking()
+		if sat != wantSat {
+			t.Fatalf("trial %d: acyclic solving sat=%v, backtracking sat=%v", trial, sat, wantSat)
+		}
+		if sat && !c.Check(sol) {
+			t.Fatalf("trial %d: acyclic solution %v invalid", trial, sol)
+		}
+	}
+	if acyclicSeen < 10 {
+		t.Fatalf("too few acyclic instances generated: %d", acyclicSeen)
+	}
+}
+
+// Invariant 7 for tree decompositions: Join Tree Clustering over a TD from
+// any elimination ordering agrees with backtracking.
+func TestSolveFromTDMatchesBacktracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		c := randomCSP(rng, 6, 5, 2, 3)
+		h := c.Hypergraph()
+		o := order.Random(h.NumVertices(), rng)
+		d := order.VertexElimination(h, o)
+		sol, sat, err := SolveFromTD(c, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, wantSat := c.SolveBacktracking()
+		if sat != wantSat {
+			t.Fatalf("trial %d: TD solving sat=%v, backtracking sat=%v", trial, sat, wantSat)
+		}
+		if sat && !c.Check(sol) {
+			t.Fatalf("trial %d: TD solution %v invalid", trial, sol)
+		}
+	}
+}
+
+// Invariant 7 for GHDs: solving from a complete GHD agrees with
+// backtracking.
+func TestSolveFromGHDMatchesBacktracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 40; trial++ {
+		c := randomCSP(rng, 6, 5, 2, 3)
+		h := c.Hypergraph()
+		o := order.Random(h.NumVertices(), rng)
+		d := order.GHD(h, o, rng, true)
+		sol, sat, err := SolveFromGHD(c, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, wantSat := c.SolveBacktracking()
+		if sat != wantSat {
+			t.Fatalf("trial %d: GHD solving sat=%v, backtracking sat=%v", trial, sat, wantSat)
+		}
+		if sat && !c.Check(sol) {
+			t.Fatalf("trial %d: GHD solution %v invalid", trial, sol)
+		}
+	}
+}
+
+// The thesis's Example 5 walkthrough (Fig. 2.8 / 2.9): the CSP is
+// satisfiable and both decomposition solvers find a valid solution.
+func TestExample5Walkthrough(t *testing.T) {
+	c := example5CSP()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := c.SolveBacktracking()
+	if !ok {
+		t.Fatal("Example 5 must be satisfiable")
+	}
+	if !c.Check(want) {
+		t.Fatal("backtracking produced invalid solution")
+	}
+
+	h := c.Hypergraph()
+	o := order.Random(h.NumVertices(), rand.New(rand.NewSource(1)))
+
+	d := order.VertexElimination(h, o)
+	sol, sat, err := SolveFromTD(c, d)
+	if err != nil || !sat || !c.Check(sol) {
+		t.Fatalf("TD solving failed: sol=%v sat=%v err=%v", sol, sat, err)
+	}
+
+	g := order.GHD(h, o, nil, true)
+	sol2, sat2, err2 := SolveFromGHD(c, g)
+	if err2 != nil || !sat2 || !c.Check(sol2) {
+		t.Fatalf("GHD solving failed: sol=%v sat=%v err=%v", sol2, sat2, err2)
+	}
+}
+
+func TestAustraliaViaDecomposition(t *testing.T) {
+	c := australia()
+	h := c.Hypergraph()
+	o := order.Random(h.NumVertices(), rand.New(rand.NewSource(3)))
+	d := order.VertexElimination(h, o)
+	sol, sat, err := SolveFromTD(c, d)
+	if err != nil || !sat {
+		t.Fatalf("map colouring via TD failed: %v %v", sat, err)
+	}
+	if !c.Check(sol) {
+		t.Fatalf("TD colouring %v invalid", sol)
+	}
+}
+
+func TestSolveFromTDShapeMismatch(t *testing.T) {
+	c := australia()
+	other := example5CSP()
+	d := order.VertexElimination(other.Hypergraph(), order.Identity(6))
+	if _, _, err := SolveFromTD(c, d); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+}
+
+func TestUnsatisfiableViaDecompositions(t *testing.T) {
+	// x≠y, y≠z, x≠z over 2 values: unsatisfiable triangle.
+	neq := [][]int{{0, 1}, {1, 0}}
+	c := &CSP{
+		VarNames: []string{"x", "y", "z"},
+		Domains:  [][]int{{0, 1}, {0, 1}, {0, 1}},
+		Constraints: []*Constraint{
+			{Name: "xy", Rel: NewRelation([]int{0, 1}, clone2(neq))},
+			{Name: "yz", Rel: NewRelation([]int{1, 2}, clone2(neq))},
+			{Name: "xz", Rel: NewRelation([]int{0, 2}, clone2(neq))},
+		},
+	}
+	h := c.Hypergraph()
+	d := order.VertexElimination(h, order.Identity(3))
+	if _, sat, err := SolveFromTD(c, d); err != nil || sat {
+		t.Fatalf("unsat CSP solved via TD: sat=%v err=%v", sat, err)
+	}
+	g := order.GHD(h, order.Identity(3), nil, true)
+	if _, sat, err := SolveFromGHD(c, g); err != nil || sat {
+		t.Fatalf("unsat CSP solved via GHD: sat=%v err=%v", sat, err)
+	}
+}
+
+func clone2(t [][]int) [][]int {
+	out := make([][]int, len(t))
+	for i, r := range t {
+		out[i] = append([]int(nil), r...)
+	}
+	return out
+}

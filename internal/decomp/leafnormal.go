@@ -1,0 +1,330 @@
+package decomp
+
+import (
+	"sort"
+
+	"hypertree/internal/bitset"
+)
+
+// LeafNormalForm is a tree decomposition in leaf normal form (Def. 18):
+// there is a one-to-one mapping between hyperedges and leaves with
+// χ(leaf(h)) = h, and every internal node carries a vertex Y iff it lies on
+// a path between two leaves containing Y.
+type LeafNormalForm struct {
+	*Decomposition
+	// Leaf[e] is the leaf node corresponding to hyperedge e.
+	Leaf []*Node
+}
+
+// TransformLeafNormalForm implements algorithm Transform Leaf Normal Form
+// (Fig. 3.1). It returns a new decomposition in leaf normal form such that
+// every label of the result is a subset of some label of the input
+// (Theorem 1). The input is not modified.
+func TransformLeafNormalForm(d *Decomposition) *LeafNormalForm {
+	h := d.H
+	out := New(h)
+
+	// Step 1: copy the tree.
+	clone := make(map[*Node]*Node, len(d.nodes))
+	var cp func(n *Node, parent *Node)
+	cp = func(n *Node, parent *Node) {
+		nn := out.AddNode(n.Chi.Clone(), parent)
+		clone[n] = nn
+		for _, c := range n.Children {
+			cp(c, nn)
+		}
+	}
+	cp(d.Root, nil)
+
+	// Step 2: attach one leaf per hyperedge beneath a covering original node.
+	leaf := make([]*Node, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		es := h.EdgeSet(e)
+		var host *Node
+		for _, orig := range d.nodes {
+			if es.SubsetOf(orig.Chi) {
+				host = clone[orig]
+				break
+			}
+		}
+		if host == nil {
+			panic("decomp: TransformLeafNormalForm on decomposition violating condition 1")
+		}
+		leaf[e] = out.AddNode(es.Clone(), host)
+	}
+
+	// Step 3: repeatedly delete leaves that are not mapped leaves.
+	mapped := make(map[*Node]bool, len(leaf))
+	for _, l := range leaf {
+		mapped[l] = true
+	}
+	for {
+		removed := false
+		for _, n := range out.nodes {
+			if n == nil || mapped[n] || len(n.Children) > 0 || n.Parent == nil {
+				continue
+			}
+			out.detach(n)
+			removed = true
+		}
+		if !removed {
+			break
+		}
+	}
+	out.compact()
+
+	// Step 4: trim internal labels to Steiner subtrees of the mapped leaves.
+	// For each vertex v, an internal node keeps v iff it lies on a path
+	// between two (mapped) leaves whose labels contain v.
+	counts := make([]int, len(out.nodes)) // reused per vertex: #leaves containing v in subtree
+	order := out.postorder()
+	for v := 0; v < h.NumVertices(); v++ {
+		total := 0
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, n := range order {
+			c := 0
+			if mapped[n] && n.Chi.Contains(v) {
+				c = 1
+				total++
+			}
+			for _, ch := range n.Children {
+				c += counts[ch.ID]
+			}
+			counts[n.ID] = c
+		}
+		for _, n := range order {
+			if mapped[n] {
+				continue // leaf labels are fixed to their hyperedge
+			}
+			if !n.Chi.Contains(v) {
+				continue
+			}
+			below := counts[n.ID]
+			outside := total - below
+			childrenWith := 0
+			for _, ch := range n.Children {
+				if counts[ch.ID] > 0 {
+					childrenWith++
+				}
+			}
+			onPath := (below >= 1 && outside >= 1) || childrenWith >= 2
+			if !onPath {
+				n.Chi.Remove(v)
+			}
+		}
+	}
+
+	return &LeafNormalForm{Decomposition: out, Leaf: leaf}
+}
+
+// detach removes a childless non-root node from the tree.
+func (d *Decomposition) detach(n *Node) {
+	p := n.Parent
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+	d.nodes[n.ID] = nil
+}
+
+// compact removes nil slots left by detach and renumbers IDs.
+func (d *Decomposition) compact() {
+	out := d.nodes[:0]
+	for _, n := range d.nodes {
+		if n != nil {
+			n.ID = len(out)
+			out = append(out, n)
+		}
+	}
+	d.nodes = out
+}
+
+// postorder returns the nodes children-before-parents.
+func (d *Decomposition) postorder() []*Node {
+	out := make([]*Node, 0, len(d.nodes))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		out = append(out, n)
+	}
+	if d.Root != nil {
+		rec(d.Root)
+	}
+	return out
+}
+
+// depth returns the distance of n from the root.
+func depth(n *Node) int {
+	d := 0
+	for n.Parent != nil {
+		n = n.Parent
+		d++
+	}
+	return d
+}
+
+// EliminationOrdering derives from a leaf normal form the elimination
+// ordering of Lemma 13. The thesis orders σ = (v₁,…,vₙ) with vₙ eliminated
+// first and requires depth(v) < depth(w) ⇒ v <_σ w; this module's convention
+// is that index 0 is eliminated FIRST, so the result sorts vertices by
+// descending depth of the deepest common ancestor of the leaves containing
+// them. Bucket/vertex elimination of this ordering yields labels that are
+// subsets of the original χ labels (Theorem 2), hence
+// width(σ, H) ≤ width of the original decomposition.
+func (l *LeafNormalForm) EliminationOrdering() []int {
+	h := l.H
+	n := h.NumVertices()
+
+	// Leaves containing each vertex.
+	leavesOf := make([][]*Node, n)
+	for _, lf := range l.Leaf {
+		lf.Chi.ForEach(func(v int) bool {
+			leavesOf[v] = append(leavesOf[v], lf)
+			return true
+		})
+	}
+
+	depths := make([]int, n)
+	for v := 0; v < n; v++ {
+		if len(leavesOf[v]) == 0 {
+			// Isolated vertex appearing in no hyperedge: eliminate last.
+			depths[v] = -1
+			continue
+		}
+		dca := leavesOf[v][0]
+		for _, lf := range leavesOf[v][1:] {
+			dca = commonAncestor(dca, lf)
+		}
+		depths[v] = depth(dca)
+	}
+
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return depths[order[i]] > depths[order[j]]
+	})
+	return order
+}
+
+// commonAncestor returns the deepest common ancestor of a and b.
+func commonAncestor(a, b *Node) *Node {
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// IsLeafNormalForm verifies both conditions of Def. 18 against the mapped
+// leaves, returning true only if the structure is a genuine leaf normal
+// form of its hypergraph.
+func (l *LeafNormalForm) IsLeafNormalForm() bool {
+	h := l.H
+	if len(l.Leaf) != h.NumEdges() {
+		return false
+	}
+	isMapped := make(map[*Node]bool, len(l.Leaf))
+	for e, lf := range l.Leaf {
+		if lf == nil || len(lf.Children) != 0 || !lf.Chi.Equal(h.EdgeSet(e)) {
+			return false
+		}
+		if isMapped[lf] {
+			return false // mapping not one-to-one
+		}
+		isMapped[lf] = true
+	}
+	// Every leaf of the tree must be a mapped leaf.
+	for _, n := range l.nodes {
+		if len(n.Children) == 0 && n.Parent != nil && !isMapped[n] {
+			return false
+		}
+	}
+	// Condition 2 of Def. 18 for internal nodes.
+	counts := make([]int, len(l.nodes))
+	order := l.postorder()
+	for v := 0; v < h.NumVertices(); v++ {
+		total := 0
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, n := range order {
+			c := 0
+			if isMapped[n] && n.Chi.Contains(v) {
+				c = 1
+				total++
+			}
+			for _, ch := range n.Children {
+				c += counts[ch.ID]
+			}
+			counts[n.ID] = c
+		}
+		for _, n := range order {
+			if isMapped[n] {
+				continue
+			}
+			below := counts[n.ID]
+			outside := total - below
+			childrenWith := 0
+			for _, ch := range n.Children {
+				if counts[ch.ID] > 0 {
+					childrenWith++
+				}
+			}
+			onPath := (below >= 1 && outside >= 1) || childrenWith >= 2
+			if n.Chi.Contains(v) != onPath {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LabelsSubsetOf reports whether every χ label of d is a subset of some χ
+// label of other (the guarantee of Theorem 1).
+func (d *Decomposition) LabelsSubsetOf(other *Decomposition) bool {
+	for _, n := range d.nodes {
+		ok := false
+		for _, m := range other.nodes {
+			if n.Chi.SubsetOf(m.Chi) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverChi assigns λ labels by covering every node's χ with hyperedges using
+// the provided cover function (e.g. greedy or exact set cover). It returns
+// the resulting generalized hypertree width.
+func (d *Decomposition) CoverChi(cover func(target *bitset.Set) []int) int {
+	w := 0
+	for _, n := range d.nodes {
+		n.Lambda = cover(n.Chi)
+		if len(n.Lambda) > w {
+			w = len(n.Lambda)
+		}
+	}
+	return w
+}

@@ -1,0 +1,234 @@
+package detk
+
+import (
+	"sort"
+	"sync"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// BalancedOptions configures the balanced-separator decomposer.
+type BalancedOptions struct {
+	// Parallel recurses into a separator's components concurrently.
+	Parallel bool
+	// MaxGuesses bounds separator enumeration per subproblem (0 = 1<<16).
+	// When the cap trips, a failure no longer proves ghw(H) > k.
+	MaxGuesses int64
+}
+
+// DecomposeBalanced computes a hypertree decomposition of width ≤ k in the
+// style of BalancedGo (Gottlob–Okulmus–Pichler): at every subproblem the
+// feasible λ-separators are tried most-balanced first (smallest largest
+// component), which yields shallow trees and natural parallelism across
+// components. The search is complete like Decompose — it falls back to
+// less balanced separators when balanced ones fail — unless the MaxGuesses
+// cap trips. Results satisfy the three GHD conditions plus the descendant
+// condition (CheckSpecial).
+func DecomposeBalanced(h *hypergraph.Hypergraph, k int, opt BalancedOptions) (*decomp.Decomposition, bool) {
+	if k < 1 {
+		return nil, false
+	}
+	if opt.MaxGuesses <= 0 {
+		opt.MaxGuesses = 1 << 16
+	}
+	s := &balSolver{
+		solver: solver{
+			h:      h,
+			k:      k,
+			failed: make(map[string]bool),
+			opt:    Options{MaxGuesses: opt.MaxGuesses},
+		},
+		bopt: opt,
+	}
+	all := bitset.New(h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		all.Add(e)
+	}
+	root := s.decomposeBalanced(all, bitset.New(h.NumVertices()))
+	if root == nil {
+		return nil, false
+	}
+	d := decomp.New(h)
+	attach(d, root, nil)
+	d.Complete()
+	return d, true
+}
+
+type balSolver struct {
+	solver
+	bopt BalancedOptions
+	mu   sync.Mutex // guards solver.failed under parallel recursion
+}
+
+func (s *balSolver) failedKey(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed[key]
+}
+
+func (s *balSolver) markFailed(key string) {
+	s.mu.Lock()
+	s.failed[key] = true
+	s.mu.Unlock()
+}
+
+// decomposeBalanced mirrors solver.decompose but tries feasible separators
+// most-balanced first.
+func (s *balSolver) decomposeBalanced(comp, conn *bitset.Set) *node {
+	key := comp.Key() + "|" + conn.Key()
+	if s.failedKey(key) {
+		return nil
+	}
+
+	// Base case identical to det-k-decomp.
+	if comp.Len() <= s.k {
+		lambda := comp.Slice()
+		cover := s.varsOfEdges(lambda)
+		if conn.SubsetOf(cover) {
+			chi := cover.Clone()
+			scope := s.componentVars(comp)
+			scope.UnionWith(conn)
+			chi.IntersectWith(scope)
+			return &node{lambda: lambda, chi: chi}
+		}
+	}
+
+	compVars := s.componentVars(comp)
+	candidates := s.candidateEdges(comp, conn, compVars)
+
+	// Enumerate feasible separators, scoring balance.
+	type scored struct {
+		lambda []int
+		worst  int // size of largest component
+	}
+	var feasible []scored
+	var guesses int64
+	var rec func(from int, lambda []int)
+	rec = func(from int, lambda []int) {
+		if guesses > s.bopt.MaxGuesses {
+			return
+		}
+		if len(lambda) > 0 {
+			guesses++
+			sepVars := s.varsOfEdges(lambda)
+			if conn.SubsetOf(sepVars) {
+				comps := s.components(comp, sepVars)
+				ok := true
+				worst := 0
+				for _, c := range comps {
+					l := c.edges.Len()
+					if l >= comp.Len() {
+						ok = false
+						break
+					}
+					if l > worst {
+						worst = l
+					}
+				}
+				if ok {
+					feasible = append(feasible, scored{append([]int(nil), lambda...), worst})
+				}
+			}
+		}
+		if len(lambda) == s.k {
+			return
+		}
+		for i := from; i < len(candidates); i++ {
+			e := candidates[i]
+			es := s.h.EdgeSet(e)
+			if !es.Intersects(compVars) && !es.Intersects(conn) {
+				continue
+			}
+			rec(i+1, append(lambda, e))
+		}
+	}
+	rec(0, nil)
+
+	sort.SliceStable(feasible, func(i, j int) bool { return feasible[i].worst < feasible[j].worst })
+
+	for _, cand := range feasible {
+		if n := s.tryBalanced(comp, conn, compVars, cand.lambda); n != nil {
+			return n
+		}
+	}
+	s.markFailed(key)
+	return nil
+}
+
+func (s *balSolver) tryBalanced(comp, conn, compVars *bitset.Set, lambda []int) *node {
+	sepVars := s.varsOfEdges(lambda)
+	chi := sepVars.Clone()
+	scope := compVars.Clone()
+	scope.UnionWith(conn)
+	chi.IntersectWith(scope)
+	if !conn.SubsetOf(chi) {
+		return nil
+	}
+	comps := s.components(comp, sepVars)
+	n := &node{lambda: append([]int(nil), lambda...), chi: chi}
+	children := make([]*node, len(comps))
+
+	recurse := func(i int, c component) {
+		childConn := c.vars.Clone()
+		childConn.IntersectWith(chi)
+		children[i] = s.decomposeBalanced(c.edges, childConn)
+	}
+
+	if s.bopt.Parallel && len(comps) > 1 {
+		var wg sync.WaitGroup
+		for i, c := range comps {
+			wg.Add(1)
+			go func(i int, c component) {
+				defer wg.Done()
+				recurse(i, c)
+			}(i, c)
+		}
+		wg.Wait()
+	} else {
+		for i, c := range comps {
+			recurse(i, c)
+		}
+	}
+	for _, ch := range children {
+		if ch == nil {
+			return nil
+		}
+		n.children = append(n.children, ch)
+	}
+	return n
+}
+
+// componentVars returns the union of the component's edge variables.
+func (s *solver) componentVars(comp *bitset.Set) *bitset.Set {
+	vars := bitset.New(s.h.NumVertices())
+	comp.ForEach(func(e int) bool {
+		vars.UnionWith(s.h.EdgeSet(e))
+		return true
+	})
+	return vars
+}
+
+// candidateEdges lists the edges eligible as separator members.
+func (s *solver) candidateEdges(comp, conn, compVars *bitset.Set) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(e int) {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	comp.ForEach(func(e int) bool { add(e); return true })
+	union := compVars.Clone()
+	union.UnionWith(conn)
+	union.ForEach(func(v int) bool {
+		for _, e := range s.h.IncidentEdges(v) {
+			add(e)
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package detk
+
+import (
+	"testing"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/gen"
+	"hypertree/internal/hypergraph"
+)
+
+func TestBalancedOnKnownFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		k    int
+	}{
+		{"adder_8", gen.Adder(8), 2},
+		{"bridge_8", gen.Bridge(8), 2},
+		{"clique_8", gen.CliqueHypergraph(8), 4},
+		{"chain_10", gen.Chain(10, 4, 2), 1},
+		{"cycle_9", hypergraph.FromGraph(gen.Cycle(9)), 2},
+	}
+	for _, c := range cases {
+		d, ok := DecomposeBalanced(c.h, c.k, BalancedOptions{})
+		if !ok {
+			t.Fatalf("%s: balanced decomposer failed at k=%d", c.name, c.k)
+		}
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !CheckSpecial(d) {
+			t.Fatalf("%s: descendant condition violated", c.name)
+		}
+		if got := d.GHWidth(); got > c.k {
+			t.Fatalf("%s: width %d > k=%d", c.name, got, c.k)
+		}
+	}
+}
+
+func TestBalancedRejectsBelowWidth(t *testing.T) {
+	// Even as a heuristic it must never fabricate a decomposition below
+	// the true width.
+	h := gen.CliqueHypergraph(8) // ghw = hw = 4
+	if _, ok := DecomposeBalanced(h, 3, BalancedOptions{}); ok {
+		t.Fatal("balanced decomposer claimed width 3 on K8")
+	}
+}
+
+func TestBalancedParallelMatchesSequential(t *testing.T) {
+	h := gen.Adder(12)
+	seq, ok1 := DecomposeBalanced(h, 2, BalancedOptions{})
+	par, ok2 := DecomposeBalanced(h, 2, BalancedOptions{Parallel: true})
+	if !ok1 || !ok2 {
+		t.Fatalf("ok: seq=%v par=%v", ok1, ok2)
+	}
+	if seq.GHWidth() != par.GHWidth() {
+		t.Fatalf("widths differ: %d vs %d", seq.GHWidth(), par.GHWidth())
+	}
+	if err := par.ValidateGHD(); err != nil {
+		t.Fatal(err)
+	}
+	if !CheckSpecial(par) {
+		t.Fatal("parallel result violates descendant condition")
+	}
+}
+
+// Balanced trees should be much shallower than det-k's path-like trees on
+// long chains.
+func TestBalancedDepthOnChains(t *testing.T) {
+	h := gen.Chain(32, 4, 2)
+	bal, ok := DecomposeBalanced(h, 2, BalancedOptions{})
+	if !ok {
+		t.Fatal("balanced failed on chain")
+	}
+	if got := maxDepth(bal.Root, 0); got > 14 {
+		t.Fatalf("balanced tree depth %d on a 32-chain — not balanced", got)
+	}
+}
+
+func TestBalancedRandomAgainstExact(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		h := gen.RandomHypergraph(9, 7, 3, seed)
+		hw, _ := Width(h, 0, Options{})
+		// Balanced at hw+1 should usually succeed; at hw it may or may not
+		// (heuristic), but any result must be valid.
+		if d, ok := DecomposeBalanced(h, hw+1, BalancedOptions{}); ok {
+			if err := d.ValidateGHD(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !CheckSpecial(d) {
+				t.Fatalf("seed %d: descendant condition violated", seed)
+			}
+		}
+	}
+}
+
+func maxDepth(n *decomp.Node, d int) int {
+	best := d
+	for _, c := range n.Children {
+		if got := maxDepth(c, d+1); got > best {
+			best = got
+		}
+	}
+	return best
+}

@@ -1,0 +1,285 @@
+// Package detk implements det-k-decomp, the deterministic backtracking
+// algorithm for hypertree decompositions of width ≤ k (Gottlob, Leone,
+// Scarcello; the algorithm behind the original detkdecomp tool and the
+// centrepiece of the "Hypertree Decompositions: Questions and Answers"
+// survey).
+//
+// Hypertree decompositions strengthen generalized hypertree decompositions
+// with the descendant ("special") condition: for every node p,
+// var(λ(p)) ∩ χ(T_p) ⊆ χ(p). Deciding hw(H) ≤ k is polynomial for fixed k
+// (unlike ghw). det-k-decomp searches top-down: pick a λ-separator of at
+// most k hyperedges covering the connector vertices, split the remaining
+// hyperedges into [λ]-components, recurse on each. Failed
+// (component, connector) pairs are memoised.
+package detk
+
+import (
+	"hypertree/internal/bitset"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxGuesses bounds the number of separator guesses (0 = unbounded).
+	MaxGuesses int64
+}
+
+// Decompose returns a hypertree decomposition of h of width ≤ k, or
+// (nil, false) when none exists. The result, when non-nil, satisfies the
+// three GHD conditions plus the descendant condition (CheckSpecial).
+func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposition, bool) {
+	if k < 1 {
+		return nil, false
+	}
+	s := &solver{
+		h:      h,
+		k:      k,
+		failed: make(map[string]bool),
+		opt:    opt,
+	}
+	allEdges := bitset.New(h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		allEdges.Add(e)
+	}
+	root := s.decompose(allEdges, bitset.New(h.NumVertices()))
+	if root == nil {
+		return nil, false
+	}
+	d := decomp.New(h)
+	attach(d, root, nil)
+	d.Complete()
+	return d, true
+}
+
+// Width returns the exact hypertree width of h by trying k = 1, 2, … and
+// the witnessing decomposition. maxK caps the search (≤ 0 means |edges|).
+func Width(h *hypergraph.Hypergraph, maxK int, opt Options) (int, *decomp.Decomposition) {
+	if maxK <= 0 {
+		maxK = h.NumEdges()
+	}
+	for k := 1; k <= maxK; k++ {
+		if d, ok := Decompose(h, k, opt); ok {
+			return k, d
+		}
+	}
+	return -1, nil
+}
+
+// node is the search-internal decomposition node.
+type node struct {
+	lambda   []int
+	chi      *bitset.Set
+	children []*node
+}
+
+func attach(d *decomp.Decomposition, n *node, parent *decomp.Node) {
+	dn := d.AddNode(n.chi, parent)
+	dn.Lambda = append([]int(nil), n.lambda...)
+	for _, c := range n.children {
+		attach(d, c, dn)
+	}
+}
+
+type solver struct {
+	h       *hypergraph.Hypergraph
+	k       int
+	failed  map[string]bool // (component,connector) pairs proven infeasible
+	guesses int64
+	opt     Options
+}
+
+// decompose finds a hypertree for the hyperedges in comp whose root node
+// covers conn (the connector vertices shared with the parent separator).
+// Returns nil on failure.
+func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
+	key := comp.Key() + "|" + conn.Key()
+	if s.failed[key] {
+		return nil
+	}
+
+	// Base case: the whole component fits in one λ-set.
+	if comp.Len() <= s.k {
+		lambda := comp.Slice()
+		chi := s.varsOfEdges(lambda)
+		chi.UnionWith(conn) // conn ⊆ var(comp edges) ∪ parent separator
+		// χ must be covered by λ: keep only covered vertices — conn is
+		// always covered because the caller guarantees conn ⊆ var(λ).
+		cover := s.varsOfEdges(lambda)
+		if conn.SubsetOf(cover) {
+			chi.IntersectWith(cover)
+			return &node{lambda: lambda, chi: chi}
+		}
+		// Fall through to the general search: a small component may still
+		// need a separator with extra edges to cover the connector.
+	}
+
+	compVars := s.componentVars(comp)
+	// Candidate separator edges: any edge intersecting the component's
+	// variables or the connector (bounded enumeration over subsets ≤ k).
+	candidates := s.candidateEdges(comp, conn, compVars)
+
+	var lambda []int
+	res := s.searchSeparator(comp, conn, compVars, candidates, 0, lambda)
+	if res == nil {
+		s.failed[key] = true
+	}
+	return res
+}
+
+// searchSeparator enumerates λ ⊆ candidates with |λ| ≤ k covering conn,
+// requiring each chosen edge to contribute (cover a yet-uncovered conn
+// vertex or intersect the component).
+func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []int, from int, lambda []int) *node {
+	if s.opt.MaxGuesses > 0 && s.guesses > s.opt.MaxGuesses {
+		return nil
+	}
+	if len(lambda) > 0 {
+		s.guesses++
+		sepVars := s.varsOfEdges(lambda)
+		if conn.SubsetOf(sepVars) {
+			if n := s.trySeparator(comp, conn, compVars, lambda, sepVars); n != nil {
+				return n
+			}
+		}
+	}
+	if len(lambda) == s.k {
+		return nil
+	}
+	for i := from; i < len(candidates); i++ {
+		e := candidates[i]
+		// Usefulness filter: the edge must touch the component or an
+		// uncovered connector vertex.
+		es := s.h.EdgeSet(e)
+		if !es.Intersects(compVars) && !es.Intersects(conn) {
+			continue
+		}
+		if n := s.searchSeparator(comp, conn, compVars, candidates, i+1, append(lambda, e)); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// trySeparator splits comp by the separator's variables and recurses.
+func (s *solver) trySeparator(comp, conn, compVars *bitset.Set, lambda []int, sepVars *bitset.Set) *node {
+	// χ(p) = var(λ) ∩ (compVars ∪ conn): the descendant condition holds
+	// because variables of λ outside the current component never reappear
+	// below p.
+	chi := sepVars.Clone()
+	scope := compVars.Clone()
+	scope.UnionWith(conn)
+	chi.IntersectWith(scope)
+
+	// All connector vertices must be in χ (connectedness with the parent).
+	if !conn.SubsetOf(chi) {
+		return nil
+	}
+
+	// [λ]-components: edges of comp not fully covered, connected via
+	// non-separator vertices.
+	comps := s.components(comp, sepVars)
+
+	// Progress check: every child component must be strictly smaller.
+	for _, c := range comps {
+		if c.edges.Len() >= comp.Len() {
+			return nil
+		}
+	}
+
+	n := &node{lambda: append([]int(nil), lambda...), chi: chi}
+	for _, c := range comps {
+		childConn := c.vars.Clone()
+		childConn.IntersectWith(chi)
+		child := s.decompose(c.edges, childConn)
+		if child == nil {
+			return nil
+		}
+		n.children = append(n.children, child)
+	}
+	return n
+}
+
+type component struct {
+	edges *bitset.Set
+	vars  *bitset.Set
+}
+
+// components partitions the not-fully-covered edges of comp into
+// [sepVars]-connected components.
+func (s *solver) components(comp, sepVars *bitset.Set) []component {
+	var open []int
+	comp.ForEach(func(e int) bool {
+		if !s.h.EdgeSet(e).SubsetOf(sepVars) {
+			open = append(open, e)
+		}
+		return true
+	})
+	assigned := make(map[int]bool, len(open))
+	var out []component
+	for _, start := range open {
+		if assigned[start] {
+			continue
+		}
+		edges := bitset.New(s.h.NumEdges())
+		vars := bitset.New(s.h.NumVertices())
+		stack := []int{start}
+		assigned[start] = true
+		for len(stack) > 0 {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			edges.Add(e)
+			free := s.h.EdgeSet(e).Clone()
+			free.DifferenceWith(sepVars)
+			vars.UnionWith(s.h.EdgeSet(e))
+			free.ForEach(func(v int) bool {
+				for _, f := range s.h.IncidentEdges(v) {
+					if !assigned[f] && comp.Contains(f) {
+						assigned[f] = true
+						stack = append(stack, f)
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, component{edges: edges, vars: vars})
+	}
+	return out
+}
+
+func (s *solver) varsOfEdges(edges []int) *bitset.Set {
+	vars := bitset.New(s.h.NumVertices())
+	for _, e := range edges {
+		vars.UnionWith(s.h.EdgeSet(e))
+	}
+	return vars
+}
+
+// CheckSpecial verifies the descendant condition of hypertree
+// decompositions (Def. "hypertree decomposition", condition 4): for every
+// node p, var(λ(p)) ∩ χ(T_p) ⊆ χ(p), where χ(T_p) is the union of χ over
+// p's subtree.
+func CheckSpecial(d *decomp.Decomposition) bool {
+	subtreeChi := make(map[*decomp.Node]*bitset.Set, d.NumNodes())
+	var fill func(n *decomp.Node) *bitset.Set
+	fill = func(n *decomp.Node) *bitset.Set {
+		acc := n.Chi.Clone()
+		for _, c := range n.Children {
+			acc.UnionWith(fill(c))
+		}
+		subtreeChi[n] = acc
+		return acc
+	}
+	fill(d.Root)
+	for _, n := range d.Nodes() {
+		lamVars := bitset.New(d.H.NumVertices())
+		for _, e := range n.Lambda {
+			lamVars.UnionWith(d.H.EdgeSet(e))
+		}
+		lamVars.IntersectWith(subtreeChi[n])
+		if !lamVars.SubsetOf(n.Chi) {
+			return false
+		}
+	}
+	return true
+}

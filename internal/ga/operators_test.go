@@ -1,0 +1,280 @@
+package ga
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func isPermutation(s []int, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range s {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Invariant 9: every operator always yields permutations.
+func TestOperatorsPreservePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(15)
+		p1 := rng.Perm(n)
+		p2 := rng.Perm(n)
+		for _, op := range AllCrossoverOps {
+			c1, c2 := Crossover(op, p1, p2, rng)
+			if !isPermutation(c1, n) || !isPermutation(c2, n) {
+				t.Fatalf("%v produced non-permutation: %v / %v from %v, %v", op, c1, c2, p1, p2)
+			}
+		}
+		for _, op := range AllMutationOps {
+			s := rng.Perm(n)
+			Mutate(op, s, rng)
+			if !isPermutation(s, n) {
+				t.Fatalf("%v produced non-permutation: %v", op, s)
+			}
+		}
+	}
+}
+
+func TestCrossoverDoesNotMutateParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p1 := rng.Perm(12)
+	p2 := rng.Perm(12)
+	c1 := append([]int{}, p1...)
+	c2 := append([]int{}, p2...)
+	for _, op := range AllCrossoverOps {
+		Crossover(op, p1, p2, rng)
+		if !reflect.DeepEqual(p1, c1) || !reflect.DeepEqual(p2, c2) {
+			t.Fatalf("%v mutated a parent", op)
+		}
+	}
+}
+
+// CX defining property: every position holds the gene of one of the two
+// parents at that same position.
+func TestCXPositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(10)
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		c1, c2 := Crossover(CX, p1, p2, rng)
+		for i := 0; i < n; i++ {
+			if c1[i] != p1[i] && c1[i] != p2[i] {
+				t.Fatalf("CX offspring %v has foreign gene at %d (parents %v, %v)", c1, i, p1, p2)
+			}
+			if c2[i] != p1[i] && c2[i] != p2[i] {
+				t.Fatalf("CX offspring2 %v has foreign gene at %d", c2, i)
+			}
+		}
+	}
+}
+
+// CX on identical parents must return the parent.
+func TestCXIdenticalParents(t *testing.T) {
+	p := []int{3, 1, 0, 2}
+	c1, c2 := Crossover(CX, p, p, rand.New(rand.NewSource(0)))
+	if !reflect.DeepEqual(c1, p) || !reflect.DeepEqual(c2, p) {
+		t.Fatalf("CX(p,p) = %v, %v", c1, c2)
+	}
+}
+
+// PMX worked example from the literature (Goldberg & Lingle style).
+func TestPMXKeepsSegmentFromSecondParent(t *testing.T) {
+	// With a fixed rng, check structural property instead of exact segment:
+	// the child must contain p2's genes on the chosen segment. We verify by
+	// running many times: child differs from p1 only through the induced
+	// mapping, so genes not in the segment mapping keep p1 positions.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(8)
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		c, _ := Crossover(PMX, p1, p2, rng)
+		// Property: there is a contiguous window equal to p2.
+		found := false
+		for lo := 0; lo < n && !found; lo++ {
+			for hi := lo + 1; hi <= n; hi++ {
+				if reflect.DeepEqual(c[lo:hi], p2[lo:hi]) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("PMX child %v shares no window with p2 %v", c, p2)
+		}
+	}
+}
+
+// AP defining property: the offspring is the alternating merge of the two
+// parents, skipping duplicates.
+func TestAPDeterministicExample(t *testing.T) {
+	p1 := []int{0, 1, 2, 3, 4}
+	p2 := []int{4, 3, 2, 1, 0}
+	c1, c2 := Crossover(AP, p1, p2, rand.New(rand.NewSource(0)))
+	// take 0 (p1), 4 (p2), 1 (p1), 3 (p2), 2 (p1)
+	if want := []int{0, 4, 1, 3, 2}; !reflect.DeepEqual(c1, want) {
+		t.Fatalf("AP c1 = %v, want %v", c1, want)
+	}
+	// take 4 (p2), 0 (p1), 3 (p2), 1 (p1), 2
+	if want := []int{4, 0, 3, 1, 2}; !reflect.DeepEqual(c2, want) {
+		t.Fatalf("AP c2 = %v, want %v", c2, want)
+	}
+}
+
+// OX2 property: unselected genes keep their positions in p1.
+func TestOX2KeepsUnselectedPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(8)
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		mask := coinMask(n, rng)
+		c := ox2(p1, p2, mask)
+		selected := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if mask[i] {
+				selected[p2[i]] = true
+			}
+		}
+		for i, v := range p1 {
+			if !selected[v] && c[i] != v {
+				t.Fatalf("OX2 moved unselected gene %d (pos %d): %v from %v/%v mask %v", v, i, c, p1, p2, mask)
+			}
+		}
+	}
+}
+
+// POS property: masked positions carry p2's genes.
+func TestPOSMaskedPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(8)
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		mask := coinMask(n, rng)
+		c := pos(p1, p2, mask)
+		for i := 0; i < n; i++ {
+			if mask[i] && c[i] != p2[i] {
+				t.Fatalf("POS ignored mask at %d: %v from %v/%v mask %v", i, c, p1, p2, mask)
+			}
+		}
+		if !isPermutation(c, n) {
+			t.Fatalf("POS produced non-permutation %v", c)
+		}
+	}
+}
+
+// EM must swap exactly two positions (or none when i==j).
+func TestEMSwapCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(8)
+		orig := rng.Perm(n)
+		s := append([]int{}, orig...)
+		Mutate(EM, s, rng)
+		diff := 0
+		for i := range s {
+			if s[i] != orig[i] {
+				diff++
+			}
+		}
+		if diff != 0 && diff != 2 {
+			t.Fatalf("EM changed %d positions: %v -> %v", diff, orig, s)
+		}
+	}
+}
+
+// SIM property: outside the reversed window nothing changes; inside it the
+// order is exactly reversed.
+func TestSIMReversesWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(8)
+		orig := rng.Perm(n)
+		s := append([]int{}, orig...)
+		Mutate(SIM, s, rng)
+		// Find the changed window.
+		lo, hi := 0, n-1
+		for lo < n && s[lo] == orig[lo] {
+			lo++
+		}
+		for hi >= 0 && s[hi] == orig[hi] {
+			hi--
+		}
+		if lo > hi {
+			continue // window of length ≤1
+		}
+		for k := lo; k <= hi; k++ {
+			if s[k] != orig[hi-(k-lo)] {
+				t.Fatalf("SIM window not reversed: %v -> %v", orig, s)
+			}
+		}
+	}
+}
+
+// ISM moves exactly one element.
+func TestISMMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(8)
+		s := rng.Perm(n)
+		Mutate(ISM, s, rng)
+		if !isPermutation(s, n) {
+			t.Fatalf("ISM broke permutation: %v", s)
+		}
+	}
+}
+
+// SM keeps genes outside the window fixed.
+func TestSMOutsideWindowFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(8)
+		orig := rng.Perm(n)
+		s := append([]int{}, orig...)
+		Mutate(SM, s, rng)
+		// The multiset within the minimal changed window must be preserved;
+		// here we settle for the permutation property plus stability of a
+		// prefix/suffix.
+		lo, hi := 0, n-1
+		for lo < n && s[lo] == orig[lo] {
+			lo++
+		}
+		for hi >= 0 && s[hi] == orig[hi] {
+			hi--
+		}
+		if lo > hi {
+			continue
+		}
+		inWindow := map[int]bool{}
+		for k := lo; k <= hi; k++ {
+			inWindow[orig[k]] = true
+		}
+		for k := lo; k <= hi; k++ {
+			if !inWindow[s[k]] {
+				t.Fatalf("SM leaked gene across window: %v -> %v", orig, s)
+			}
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	if PMX.String() != "PMX" || AP.String() != "AP" || ISM.String() != "ISM" || SM.String() != "SM" {
+		t.Fatal("operator String() wrong")
+	}
+}
+
+func TestMutateTinySlices(t *testing.T) {
+	for _, op := range AllMutationOps {
+		s := []int{0}
+		Mutate(op, s, rand.New(rand.NewSource(0))) // must not panic
+		if s[0] != 0 {
+			t.Fatalf("%v corrupted singleton", op)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property (quick-checked): every crossover operator applied to arbitrary
+// parent permutations yields permutations, for every operator and random
+// cut structure.
+func TestQuickCrossoverPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64, opRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		op := AllCrossoverOps[int(opRaw)%len(AllCrossoverOps)]
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		c1, c2 := Crossover(op, p1, p2, rng)
+		return isPermutation(c1, n) && isPermutation(c2, n)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every mutation operator preserves the permutation property.
+func TestQuickMutationPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(4))}
+	f := func(seed int64, opRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		op := AllMutationOps[int(opRaw)%len(AllMutationOps)]
+		s := rng.Perm(n)
+		Mutate(op, s, rng)
+		return isPermutation(s, n)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: crossover of a permutation with itself returns the same
+// permutation for position-respecting operators (PMX, CX, OX2, POS).
+func TestQuickSelfCrossoverFixedPoint(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(5))}
+	f := func(seed int64, opRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		ops := []CrossoverOp{PMX, CX, OX2, POS}
+		op := ops[int(opRaw)%len(ops)]
+		p := rng.Perm(n)
+		c1, c2 := Crossover(op, p, p, rng)
+		for i := range p {
+			if c1[i] != p[i] || c2[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypertree/internal/hypergraph"
+)
+
+// Adder returns the gate-level ripple-carry adder hypergraph adder_n of the
+// TU-Wien library family. Each full adder is modelled by its five gates —
+// t1 = a⊕b, s = t1⊕cin, t2 = a∧b, t3 = t1∧cin, cout = t2∨t3 — with one
+// hyperedge per gate over {inputs…, output}. The gate structure is cyclic
+// within each bit (unlike a single "black box" full-adder edge), which is
+// what gives the family its generalized hypertree width of 2.
+func Adder(bits int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	for i := 0; i < bits; i++ {
+		a := fmt.Sprintf("a%d", i)
+		bb := fmt.Sprintf("b%d", i)
+		s := fmt.Sprintf("s%d", i)
+		t1 := fmt.Sprintf("t1_%d", i)
+		t2 := fmt.Sprintf("t2_%d", i)
+		t3 := fmt.Sprintf("t3_%d", i)
+		cin := fmt.Sprintf("c%d", i)
+		cout := fmt.Sprintf("c%d", i+1)
+		b.AddEdge(fmt.Sprintf("xor1_%d", i), a, bb, t1)
+		b.AddEdge(fmt.Sprintf("xor2_%d", i), t1, cin, s)
+		b.AddEdge(fmt.Sprintf("and1_%d", i), a, bb, t2)
+		b.AddEdge(fmt.Sprintf("and2_%d", i), t1, cin, t3)
+		b.AddEdge(fmt.Sprintf("or_%d", i), t2, t3, cout)
+	}
+	return b.Build()
+}
+
+// Bridge returns the bridge-circuit-style hypergraph bridge_n: a
+// Wheatstone ladder of n panels over two rails, each panel contributing
+// rail segments, a rung and a crossing diagonal as separate (binary)
+// constraints. The diagonals make the structure cyclic with generalized
+// hypertree width 2, like the library's bridge family.
+func Bridge(panels int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	u := func(i int) string { return fmt.Sprintf("u%d", i) }
+	v := func(i int) string { return fmt.Sprintf("v%d", i) }
+	b.AddEdge("rung0", u(0), v(0))
+	for i := 0; i < panels; i++ {
+		b.AddEdge(fmt.Sprintf("railU%d", i), u(i), u(i+1))
+		b.AddEdge(fmt.Sprintf("railV%d", i), v(i), v(i+1))
+		b.AddEdge(fmt.Sprintf("rung%d", i+1), u(i+1), v(i+1))
+		b.AddEdge(fmt.Sprintf("diag%d", i), u(i), v(i+1))
+	}
+	return b.Build()
+}
+
+// CliqueHypergraph returns K_n as a hypergraph of binary edges; its
+// generalized hypertree width is ⌈n/2⌉ (a perfect matching covers every
+// χ-set of the single-bag decomposition).
+func CliqueHypergraph(n int) *hypergraph.Hypergraph {
+	return hypergraph.FromGraph(Clique(n))
+}
+
+// Grid2DHypergraph returns the grid graph as a binary-edge hypergraph
+// (the library's grid2d family).
+func Grid2DHypergraph(rows, cols int) *hypergraph.Hypergraph {
+	return hypergraph.FromGraph(Grid2D(rows, cols))
+}
+
+// Grid3DHypergraph returns the 3D grid as a binary-edge hypergraph.
+func Grid3DHypergraph(x, y, z int) *hypergraph.Hypergraph {
+	return hypergraph.FromGraph(Grid3D(x, y, z))
+}
+
+// Circuit returns a seeded gate-level circuit hypergraph standing in for
+// the ISCAS b*/c*/s* netlists: a DAG of nGates gates with fan-in between 2
+// and maxFanin drawn from earlier signals, one hyperedge per gate over
+// {inputs…, output}. The result has the bounded-degree, locally tree-like
+// shape of real netlists.
+func Circuit(nInputs, nGates, maxFanin int, seed int64) *hypergraph.Hypergraph {
+	if maxFanin < 2 {
+		maxFanin = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	signals := make([]string, 0, nInputs+nGates)
+	for i := 0; i < nInputs; i++ {
+		name := fmt.Sprintf("in%d", i)
+		b.Vertex(name)
+		signals = append(signals, name)
+	}
+	for gate := 0; gate < nGates; gate++ {
+		out := fmt.Sprintf("g%d", gate)
+		fanin := 2 + rng.Intn(maxFanin-1)
+		if fanin > len(signals) {
+			fanin = len(signals)
+		}
+		// Bias input selection toward recent signals, as in real netlists.
+		chosen := map[string]bool{}
+		vars := []string{}
+		for len(vars) < fanin {
+			var idx int
+			if rng.Intn(2) == 0 && len(signals) > 8 {
+				idx = len(signals) - 1 - rng.Intn(8)
+			} else {
+				idx = rng.Intn(len(signals))
+			}
+			s := signals[idx]
+			if !chosen[s] {
+				chosen[s] = true
+				vars = append(vars, s)
+			}
+		}
+		vars = append(vars, out)
+		b.AddEdge(fmt.Sprintf("gate%d", gate), vars...)
+		signals = append(signals, out)
+	}
+	return b.Build()
+}
+
+// Chain returns an α-acyclic chain hypergraph: n hyperedges of the given
+// arity, consecutive edges overlapping in `overlap` vertices. Its
+// generalized hypertree width is 1.
+func Chain(n, arity, overlap int) *hypergraph.Hypergraph {
+	if overlap >= arity {
+		panic("gen: Chain overlap must be smaller than arity")
+	}
+	b := hypergraph.NewBuilder()
+	stride := arity - overlap
+	for e := 0; e < n; e++ {
+		vars := make([]string, arity)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("x%d", e*stride+i)
+		}
+		b.AddEdge(fmt.Sprintf("e%d", e), vars...)
+	}
+	return b.Build()
+}
+
+// RandomHypergraph returns a seeded random hypergraph with m hyperedges of
+// arity 2..maxArity over n vertices; every vertex is guaranteed to occur in
+// at least one hyperedge.
+func RandomHypergraph(n, m, maxArity int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][]int, 0, m+n)
+	for e := 0; e < m; e++ {
+		sz := 2 + rng.Intn(maxArity-1)
+		if sz > n {
+			sz = n
+		}
+		edges = append(edges, rng.Perm(n)[:sz])
+	}
+	covered := make([]bool, n)
+	for _, e := range edges {
+		for _, v := range e {
+			covered[v] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !covered[v] {
+			edges = append(edges, []int{v, (v + 1) % n})
+		}
+	}
+	return hypergraph.FromEdges(n, edges)
+}

@@ -1,0 +1,88 @@
+package hypergraph
+
+import "hypertree/internal/bitset"
+
+// IsAcyclic reports whether the hypergraph is α-acyclic, using the
+// Graham–Yu–Özsoyoğlu (GYO) reduction: repeatedly (a) remove vertices
+// occurring in exactly one hyperedge ("ears") and (b) remove hyperedges
+// contained in another hyperedge. H is α-acyclic iff the reduction
+// eliminates every hyperedge. α-acyclicity is equivalent to ghw(H) = 1 and
+// to the existence of a join tree.
+func (h *Hypergraph) IsAcyclic() bool {
+	// Working copies of the edge sets.
+	edges := make([]*bitset.Set, h.NumEdges())
+	alive := make([]bool, h.NumEdges())
+	for e := range edges {
+		edges[e] = h.edgeSets[e].Clone()
+		alive[e] = true
+	}
+	aliveCount := len(edges)
+
+	degree := make([]int, h.NumVertices())
+	for _, es := range edges {
+		es.ForEach(func(v int) bool {
+			degree[v]++
+			return true
+		})
+	}
+
+	for {
+		changed := false
+
+		// (a) Remove ear vertices (degree 1).
+		for e := range edges {
+			if !alive[e] {
+				continue
+			}
+			var ears []int
+			edges[e].ForEach(func(v int) bool {
+				if degree[v] == 1 {
+					ears = append(ears, v)
+				}
+				return true
+			})
+			for _, v := range ears {
+				edges[e].Remove(v)
+				degree[v] = 0
+				changed = true
+			}
+		}
+
+		// (b) Remove edges contained in another edge (including emptied
+		// ones).
+		for e := range edges {
+			if !alive[e] {
+				continue
+			}
+			if edges[e].Empty() {
+				alive[e] = false
+				aliveCount--
+				changed = true
+				continue
+			}
+			for f := range edges {
+				if e == f || !alive[f] {
+					continue
+				}
+				if edges[e].SubsetOf(edges[f]) {
+					// Drop e; decrement degrees of its vertices.
+					edges[e].ForEach(func(v int) bool {
+						degree[v]--
+						return true
+					})
+					alive[e] = false
+					aliveCount--
+					changed = true
+					break
+				}
+			}
+		}
+
+		if aliveCount == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}

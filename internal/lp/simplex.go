@@ -1,0 +1,147 @@
+// Package lp implements a dense tableau simplex solver for the small
+// linear programs that arise in fractional edge covers (fractional
+// hypertree width, the third width measure of the hypertree decomposition
+// survey).
+//
+// The solver handles the canonical-form problem
+//
+//	maximise    c·y
+//	subject to  A y ≤ b,  y ≥ 0,  with b ≥ 0,
+//
+// which is exactly the shape of the fractional-matching dual of a covering
+// LP: the all-slack basis is immediately feasible, so no phase-1 is
+// needed. Bland's rule guarantees termination.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnbounded is returned when the LP has unbounded optimum.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrBadInput is returned on malformed dimensions or negative b.
+var ErrBadInput = errors.New("lp: malformed input")
+
+const eps = 1e-9
+
+// Solve maximises c·y subject to Ay ≤ b, y ≥ 0. A has one row per
+// constraint; b must be non-negative. It returns the optimal objective
+// value, an optimal y, and the dual values (one per constraint, the
+// shadow prices — for a covering dual these are the primal cover weights).
+func Solve(A [][]float64, b, c []float64) (opt float64, y []float64, dual []float64, err error) {
+	m := len(A)
+	if len(b) != m {
+		return 0, nil, nil, ErrBadInput
+	}
+	n := len(c)
+	for i := range A {
+		if len(A[i]) != n {
+			return 0, nil, nil, ErrBadInput
+		}
+		if b[i] < -eps {
+			return 0, nil, nil, ErrBadInput
+		}
+	}
+
+	// Tableau: m rows × (n + m + 1) columns. Columns 0..n−1 are the
+	// decision variables, n..n+m−1 the slacks, last column the RHS. The
+	// objective row holds reduced costs (we maximise, so we pivot while a
+	// positive reduced cost exists — stored negated as in the classical
+	// minimisation tableau would flip signs; here we keep maximisation
+	// semantics directly).
+	cols := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols)
+		copy(t[i], A[i])
+		t[i][n+i] = 1
+		t[i][cols-1] = b[i]
+	}
+	obj := make([]float64, cols)
+	copy(obj, c)
+	t[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 50 * (m + n) * (m + n)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return 0, nil, nil, errors.New("lp: iteration limit exceeded")
+		}
+		// Entering variable: Bland's rule — smallest index with positive
+		// reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Leaving variable: minimum ratio, ties by smallest basis index
+		// (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][cols-1] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, nil, nil, ErrUnbounded
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+
+	y = make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			y[bv] = t[i][cols-1]
+		}
+	}
+	// Objective row value: −z is accumulated in the RHS cell of the
+	// objective row (we subtracted pivot rows from it), so opt = −t[m][last].
+	opt = -t[m][cols-1]
+	// Dual values are the negated reduced costs of the slack columns.
+	dual = make([]float64, m)
+	for i := 0; i < m; i++ {
+		dual[i] = -t[m][n+i]
+		if dual[i] < 0 && dual[i] > -eps {
+			dual[i] = 0
+		}
+	}
+	return opt, y, dual, nil
+}
+
+func pivot(t [][]float64, r, c int) {
+	pr := t[r]
+	pv := pr[c]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLP(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, opt 12.
+	opt, y, _, err := Solve(
+		[][]float64{{1, 1}, {1, 3}},
+		[]float64{4, 6},
+		[]float64{3, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(opt, 12) {
+		t.Fatalf("opt = %v, want 12", opt)
+	}
+	if !approx(y[0], 4) || !approx(y[1], 0) {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y ≤ 4, x + 2y ≤ 4 → x=y=4/3, opt 8/3.
+	opt, y, _, err := Solve(
+		[][]float64{{2, 1}, {1, 2}},
+		[]float64{4, 4},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(opt, 8.0/3) {
+		t.Fatalf("opt = %v, want 8/3", opt)
+	}
+	if !approx(y[0], 4.0/3) || !approx(y[1], 4.0/3) {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x s.t. −x ≤ 1: unbounded.
+	_, _, _, err := Solve([][]float64{{-1}}, []float64{1}, []float64{1})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, _, _, err := Solve([][]float64{{1}}, []float64{-1}, []float64{1}); err != ErrBadInput {
+		t.Fatalf("negative b accepted: %v", err)
+	}
+	if _, _, _, err := Solve([][]float64{{1, 2}}, []float64{1}, []float64{1}); err != ErrBadInput {
+		t.Fatalf("dimension mismatch accepted: %v", err)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	opt, y, _, err := Solve([][]float64{{1}}, []float64{5}, []float64{0})
+	if err != nil || !approx(opt, 0) || !approx(y[0], 0) {
+		t.Fatalf("zero objective: %v %v %v", opt, y, err)
+	}
+}
+
+// Duality check on random covering duals: max Σy s.t. for each "edge" the
+// sum of its member y's ≤ 1 — optimum must equal the fractional cover
+// value computed independently via the dual variables (strong duality:
+// Σ dual values = opt, and duals are feasible for the covering primal).
+func TestStrongDualityOnMatchingLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		nV := 2 + rng.Intn(6)
+		nE := 1 + rng.Intn(6)
+		A := make([][]float64, nE)
+		hit := make([]bool, nV)
+		for e := range A {
+			A[e] = make([]float64, nV)
+			sz := 1 + rng.Intn(3)
+			for k := 0; k < sz; k++ {
+				v := rng.Intn(nV)
+				A[e][v] = 1
+				hit[v] = true
+			}
+		}
+		// Restrict objective to covered vertices (others are unbounded).
+		c := make([]float64, nV)
+		for v := range c {
+			if hit[v] {
+				c[v] = 1
+			}
+		}
+		b := make([]float64, nE)
+		for i := range b {
+			b[i] = 1
+		}
+		opt, y, dual, err := Solve(A, b, c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Primal feasibility of y.
+		for e := range A {
+			s := 0.0
+			for v := range y {
+				s += A[e][v] * y[v]
+			}
+			if s > 1+1e-6 {
+				t.Fatalf("trial %d: matching constraint violated: %v", trial, s)
+			}
+		}
+		// Dual feasibility: for each covered vertex v, Σ_{e∋v} dual_e ≥ 1.
+		for v := 0; v < nV; v++ {
+			if c[v] == 0 {
+				continue
+			}
+			s := 0.0
+			for e := range A {
+				s += A[e][v] * dual[e]
+			}
+			if s < 1-1e-6 {
+				t.Fatalf("trial %d: dual infeasible at vertex %d: %v", trial, v, s)
+			}
+		}
+		// Strong duality: Σ dual = opt.
+		ds := 0.0
+		for _, d := range dual {
+			ds += d
+		}
+		if !approx(ds, opt) {
+			t.Fatalf("trial %d: duality gap: primal %v dual %v", trial, opt, ds)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package order
+
+import (
+	"math/rand"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
+)
+
+// GHD builds a generalized hypertree decomposition from an elimination
+// ordering (thesis §2.5.2): run vertex elimination to obtain a tree
+// decomposition, then cover every χ label with hyperedges. With exact=true
+// the covers are optimal (the thesis's "bucket elimination with exact set
+// covering"); otherwise the greedy heuristic with rng tie-breaking is used.
+// The returned decomposition carries λ labels; its GHWidth() is the width
+// of the ordering in the sense of Def. 17 (exactly, when exact=true).
+func GHD(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool) *decomp.Decomposition {
+	d := VertexElimination(h, o)
+	cover := newCoverFunc(h, rng, exact)
+	d.CoverChi(cover)
+	return d
+}
+
+func newCoverFunc(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool) func(*bitset.Set) []int {
+	s := setcover.New(h, rng)
+	if exact {
+		return s.Exact
+	}
+	return s.Greedy
+}
+
+// GHWidth returns width(σ, H) per Def. 17 when exact=true: the maximum,
+// over the cliques produced by eliminating σ, of the minimum cover size.
+// With exact=false it is the greedy upper bound GA-ghw optimizes.
+func GHWidth(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool) int {
+	return NewGHWEvaluator(h, rng, exact).Width(o)
+}
+
+// TWWidth returns the tree-decomposition width of the ordering over the
+// primal graph of h.
+func TWWidth(h *hypergraph.Hypergraph, o Ordering) int {
+	return NewTWEvaluator(h).Width(o)
+}

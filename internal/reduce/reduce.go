@@ -1,0 +1,80 @@
+// Package reduce implements the search-space reduction rules of thesis
+// §4.4.3: simplicial and strongly almost simplicial vertices can be
+// eliminated next without increasing the achievable treewidth, so branch
+// and bound / A* searches branch only on them when one exists, and
+// instances can be preprocessed by eliminating them up front.
+package reduce
+
+import "hypertree/internal/elim"
+
+// Find returns a vertex that can safely be eliminated next: a simplicial
+// vertex, or a strongly almost simplicial vertex (almost simplicial with
+// degree not exceeding the treewidth lower bound lb). The boolean reports
+// whether such a vertex exists.
+func Find(g *elim.Graph, lb int) (int, bool) {
+	found, foundAny := -1, false
+	g.ForEachRemaining(func(v int) {
+		if foundAny {
+			return
+		}
+		if g.IsSimplicial(v) {
+			found, foundAny = v, true
+			return
+		}
+		if g.Degree(v) <= lb {
+			if ok, _ := g.IsAlmostSimplicial(v); ok {
+				found, foundAny = v, true
+			}
+		}
+	})
+	return found, foundAny
+}
+
+// Preprocess repeatedly eliminates simplicial and strongly almost
+// simplicial vertices from g (in place), raising the treewidth lower bound
+// to the degree of every simplicial vertex eliminated (the clique it forms
+// with its neighbourhood witnesses tw ≥ deg). It returns the eliminated
+// vertices in order and the improved lower bound. The eliminations are on
+// g's undo log, so the caller may Restore them.
+func Preprocess(g *elim.Graph, lb int) ([]int, int) {
+	var eliminated []int
+	for {
+		v, ok := findPre(g, lb)
+		if !ok {
+			break
+		}
+		if g.IsSimplicial(v) && g.Degree(v) > lb {
+			lb = g.Degree(v)
+		}
+		g.Eliminate(v)
+		eliminated = append(eliminated, v)
+	}
+	return eliminated, lb
+}
+
+// findPre mirrors Find but prefers simplicial vertices of maximum degree so
+// the lower bound improves as early as possible.
+func findPre(g *elim.Graph, lb int) (int, bool) {
+	bestSimp, bestDeg := -1, -1
+	almost := -1
+	g.ForEachRemaining(func(v int) {
+		if g.IsSimplicial(v) {
+			if d := g.Degree(v); d > bestDeg {
+				bestSimp, bestDeg = v, d
+			}
+			return
+		}
+		if almost < 0 && g.Degree(v) <= lb {
+			if ok, _ := g.IsAlmostSimplicial(v); ok {
+				almost = v
+			}
+		}
+	})
+	if bestSimp >= 0 {
+		return bestSimp, true
+	}
+	if almost >= 0 {
+		return almost, true
+	}
+	return -1, false
+}

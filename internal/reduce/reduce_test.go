@@ -1,0 +1,132 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/elim"
+	"hypertree/internal/hypergraph"
+)
+
+func bruteTW(g *hypergraph.Graph) int {
+	n := g.NumVertices()
+	e := elim.New(g)
+	memo := map[uint64]int{}
+	var rec func(mask uint64) int
+	rec = func(mask uint64) int {
+		if e.Remaining() == 0 {
+			return 0
+		}
+		if w, ok := memo[mask]; ok {
+			return w
+		}
+		best := n
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				continue
+			}
+			d := e.Eliminate(v)
+			w := rec(mask | 1<<uint(v))
+			if d > w {
+				w = d
+			}
+			if w < best {
+				best = w
+			}
+			e.Restore()
+		}
+		memo[mask] = best
+		return best
+	}
+	return rec(0)
+}
+
+func randomGraph(n int, p float64, seed int64) *hypergraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := hypergraph.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestFindSimplicial(t *testing.T) {
+	// Triangle with pendant: vertex 3 (pendant) and all triangle vertices
+	// are simplicial or near; Find must return something simplicial.
+	g := hypergraph.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	e := elim.New(g)
+	v, ok := Find(e, 0)
+	if !ok {
+		t.Fatal("Find found nothing on a graph with simplicial vertices")
+	}
+	if !e.IsSimplicial(v) {
+		t.Fatalf("Find returned non-simplicial vertex %d with lb=0", v)
+	}
+}
+
+func TestFindStronglyAlmostSimplicial(t *testing.T) {
+	// C4: no simplicial vertices; every vertex is almost simplicial with
+	// degree 2. With lb=2 a reduction exists; with lb=1 none does.
+	g := hypergraph.NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	e := elim.New(g)
+	if _, ok := Find(e, 1); ok {
+		t.Fatal("Find returned a vertex on C4 with lb=1")
+	}
+	if _, ok := Find(e, 2); !ok {
+		t.Fatal("Find missed strongly almost simplicial vertex on C4 with lb=2")
+	}
+}
+
+// Preprocessing must preserve exact treewidth: tw(original) =
+// max(lb_after, tw(reduced)).
+func TestPreprocessPreservesTreewidth(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomGraph(12, 0.3, seed)
+		want := bruteTW(g)
+		e := elim.New(g)
+		_, lb := Preprocess(e, 0)
+		// Compute tw of the residual graph (eliminated vertices are isolated
+		// in the snapshot and contribute width 0).
+		rest := bruteTW(e.Snapshot())
+		got := lb
+		if rest > got {
+			got = rest
+		}
+		// Degrees of eliminated simplicial vertices already contributed to
+		// lb; eliminating strongly almost simplicial vertices may add width
+		// ≤ lb. Overall max must equal the true treewidth.
+		if got != want {
+			t.Fatalf("seed %d: preprocess changed treewidth: got %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestPreprocessEliminatesTree(t *testing.T) {
+	// A tree is fully reducible: every leaf is simplicial.
+	g := hypergraph.NewGraph(8)
+	for i := 1; i < 8; i++ {
+		g.AddEdge(i, (i-1)/2)
+	}
+	e := elim.New(g)
+	order, lb := Preprocess(e, 0)
+	if e.Remaining() != 0 {
+		t.Fatalf("tree not fully reduced: %d vertices remain", e.Remaining())
+	}
+	if len(order) != 8 {
+		t.Fatalf("order length %d", len(order))
+	}
+	if lb != 1 {
+		t.Fatalf("lb = %d, want 1 (tw of a tree)", lb)
+	}
+}

@@ -1,0 +1,193 @@
+// Package search contains the machinery shared by the branch-and-bound and
+// A* algorithms for treewidth and generalized hypertree width: the cost
+// "modes" that differentiate tw from ghw search (thesis ch. 5, 8, 9), the
+// PR1/PR2 pruning rules (§4.4.5, §8.3), and the reduction-restricted
+// branching rule (§4.4.3).
+//
+// Both searches explore the tree of elimination-ordering prefixes. A Mode
+// abstracts the three quantities that differ between the two width
+// measures:
+//
+//	            treewidth            generalized hypertree width
+//	StepCost    degree of v          exact cover size of {v} ∪ N(v)
+//	ResidualLB  minor-min-width      tw-ksc-width (CoverLowerBound∘MMW)
+//	FinishCost  |remaining| − 1      greedy cover size of remaining set
+//
+// FinishCost(g) must satisfy: the partial ordering can be completed in
+// arbitrary order with every further step costing at most FinishCost(g).
+// This yields the generalized PR1 rule: with current prefix cost gc,
+// finishing now costs max(gc, FinishCost); if FinishCost ≤ gc the subtree
+// cannot beat gc and is pruned after recording the bound.
+package search
+
+import (
+	"math/rand"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/elim"
+	"hypertree/internal/heur"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
+)
+
+// Mode bundles the cost structure of a width measure over elimination
+// orderings. Modes are not safe for concurrent use.
+type Mode struct {
+	// StepCost is the cost of eliminating v from g now.
+	StepCost func(g *elim.Graph, v int) int
+	// ResidualLB lower-bounds the cost of the most expensive future step of
+	// ANY completion of the current prefix.
+	ResidualLB func(g *elim.Graph) int
+	// FinishCost upper-bounds the cost of every future step if the prefix
+	// is completed in arbitrary order right now.
+	FinishCost func(g *elim.Graph) int
+	// RootLB is a (possibly slower, stronger) lower bound used once at the
+	// root of a search.
+	RootLB func(g *elim.Graph) int
+}
+
+// TWMode returns the treewidth cost mode. rng feeds the randomised
+// tie-breaking of the lower-bound heuristic; it may be nil.
+func TWMode(rng *rand.Rand) Mode {
+	return Mode{
+		StepCost:   func(g *elim.Graph, v int) int { return g.Degree(v) },
+		ResidualLB: func(g *elim.Graph) int { return heur.MinorMinWidth(g, rng) },
+		FinishCost: func(g *elim.Graph) int { return g.Remaining() - 1 },
+		RootLB:     func(g *elim.Graph) int { return heur.LowerBound(g, rng) },
+	}
+}
+
+// GHWMode returns the generalized-hypertree-width cost mode over h's
+// hyperedges. Step costs use exact set covers (so search optima equal ghw
+// by Theorem 3); the finish bound uses the greedy cover of the remaining
+// vertex set, which is a valid completion cost because covering is
+// monotone: every future χ-set is a subset of the current remaining set.
+func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
+	solver := setcover.New(h, rng)
+	scratch := bitset.New(h.NumVertices())
+	return Mode{
+		StepCost: func(g *elim.Graph, v int) int {
+			scratch.CopyFrom(g.Neighbors(v))
+			scratch.Add(v)
+			return solver.ExactSize(scratch)
+		},
+		ResidualLB: func(g *elim.Graph) int {
+			if g.Remaining() == 0 {
+				return 0
+			}
+			twlb := heur.MinorMinWidth(g, rng)
+			return setcover.TwKscLowerBound(h, twlb)
+		},
+		FinishCost: func(g *elim.Graph) int {
+			scratch.Clear()
+			g.ForEachRemaining(func(v int) { scratch.Add(v) })
+			if scratch.Empty() {
+				return 0
+			}
+			return solver.GreedySize(scratch)
+		},
+		RootLB: func(g *elim.Graph) int {
+			if g.Remaining() == 0 {
+				return 0
+			}
+			return setcover.TwKscLowerBound(h, heur.LowerBound(g, rng))
+		},
+	}
+}
+
+// PR2Swappable implements the interchangeability test of Pruning Rule 2
+// (§4.4.5), evaluated on the graph in which NEITHER v nor w has been
+// eliminated: the orderings "…, v, w, …" and "…, w, v, …" have equal width
+// if v and w are non-adjacent, or if they are adjacent and each has a
+// remaining neighbour that is not a neighbour of the other.
+func PR2Swappable(g *elim.Graph, v, w int) bool {
+	nv, nw := g.Neighbors(v), g.Neighbors(w)
+	if !nv.Contains(w) {
+		return true
+	}
+	// x ∈ N(v) \ (N(w) ∪ {w}) and y ∈ N(w) \ (N(v) ∪ {v}).
+	vPrivate, wPrivate := false, false
+	nv.ForEach(func(x int) bool {
+		if x != w && !nw.Contains(x) {
+			vPrivate = true
+			return false
+		}
+		return true
+	})
+	if !vPrivate {
+		return false
+	}
+	nw.ForEach(func(y int) bool {
+		if y != v && !nv.Contains(y) {
+			wPrivate = true
+			return false
+		}
+		return true
+	})
+	return wPrivate
+}
+
+// PR2Pruned returns the set of candidate successors w of the elimination of
+// v that Pruning Rule 2 removes: w with w < v whose swap with v is width-
+// preserving. The canonical representative kept is the branch eliminating
+// the smaller-indexed vertex first. Must be called BEFORE eliminating v.
+func PR2Pruned(g *elim.Graph, v int) *bitset.Set {
+	pruned := bitset.New(g.NumVertices())
+	g.ForEachRemaining(func(w int) {
+		if w < v && PR2Swappable(g, v, w) {
+			pruned.Add(w)
+		}
+	})
+	return pruned
+}
+
+// OrderCost evaluates a complete elimination ordering of g's remaining
+// vertices under the mode, restoring g to its entry depth afterwards.
+func OrderCost(g *elim.Graph, mode Mode, ordering []int) int {
+	depth := g.Depth()
+	cost := 0
+	for _, v := range ordering {
+		if c := mode.StepCost(g, v); c > cost {
+			cost = c
+		}
+		g.Eliminate(v)
+	}
+	g.RestoreTo(depth)
+	return cost
+}
+
+// Options configures a width search. The zero value means: no limits,
+// all prunings enabled, deterministic tie-breaking.
+type Options struct {
+	// MaxNodes bounds the number of search-tree nodes expanded (0 = no
+	// bound). When exceeded, results carry Exact=false.
+	MaxNodes int64
+	// MaxMemoryStates bounds the number of states an A* search may hold
+	// (0 = default cap).
+	MaxMemoryStates int
+	// DisablePR2 turns off Pruning Rule 2.
+	DisablePR2 bool
+	// DisableReduction turns off the simplicial / strongly almost
+	// simplicial branching restriction.
+	DisableReduction bool
+	// DisableDominance turns off eliminated-set dominance caching (an
+	// extension beyond the thesis, in the style of Dow & Korf duplicate
+	// detection).
+	DisableDominance bool
+	// Seed feeds randomised tie-breaking in bound heuristics.
+	Seed int64
+}
+
+// Result reports the outcome of a width search.
+type Result struct {
+	// Width is the best width found (an upper bound; exact when Exact).
+	Width int
+	// LowerBound is the best proven lower bound (== Width when Exact).
+	LowerBound int
+	// Exact reports whether Width is proven optimal.
+	Exact bool
+	// Ordering is an elimination ordering achieving Width.
+	Ordering []int
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes int64
+}

@@ -1,0 +1,114 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/elim"
+	"hypertree/internal/hypergraph"
+)
+
+func pathGraph(n int) *hypergraph.Graph {
+	g := hypergraph.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestPR2SwappableNonAdjacent(t *testing.T) {
+	g := elim.New(pathGraph(4))
+	if !PR2Swappable(g, 0, 2) {
+		t.Fatal("non-adjacent vertices must be swappable")
+	}
+}
+
+func TestPR2SwappableAdjacentWithPrivateNeighbors(t *testing.T) {
+	// Path 0-1-2-3: 1 and 2 adjacent; 1 has private neighbour 0, 2 has
+	// private neighbour 3 → swappable.
+	g := elim.New(pathGraph(4))
+	if !PR2Swappable(g, 1, 2) {
+		t.Fatal("adjacent vertices with private neighbours must be swappable")
+	}
+	// Path endpoints: 0-1 adjacent, 0 has no private neighbour → not
+	// swappable.
+	if PR2Swappable(g, 0, 1) {
+		t.Fatal("endpoint pair must not be swappable")
+	}
+}
+
+// PR2 soundness: whenever PR2Swappable(v, w), eliminating v,w in either
+// order yields the same width over random completions.
+func TestPR2SwapPreservesWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(6)
+		g := hypergraph.NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		e := elim.New(g)
+		perm := rng.Perm(n)
+		v, w := perm[0], perm[1]
+		if !PR2Swappable(e, v, w) {
+			continue
+		}
+		rest := perm[2:]
+		width := func(order []int) int {
+			c := elim.New(g)
+			m := 0
+			for _, x := range order {
+				if d := c.Eliminate(x); d > m {
+					m = d
+				}
+			}
+			return m
+		}
+		o1 := append([]int{v, w}, rest...)
+		o2 := append([]int{w, v}, rest...)
+		if a, b := width(o1), width(o2); a != b {
+			t.Fatalf("trial %d: PR2 claimed swappable but widths differ: %d vs %d", trial, a, b)
+		}
+	}
+}
+
+func TestModesOnPath(t *testing.T) {
+	h := hypergraph.FromGraph(pathGraph(5))
+	g := elim.New(h.PrimalGraph())
+
+	tw := TWMode(nil)
+	if c := tw.StepCost(g, 2); c != 2 {
+		t.Fatalf("tw step cost of middle path vertex = %d, want 2", c)
+	}
+	if f := tw.FinishCost(g); f != 4 {
+		t.Fatalf("tw finish cost = %d, want 4", f)
+	}
+	if lb := tw.ResidualLB(g); lb < 1 || lb > 1 {
+		t.Fatalf("tw residual lb on path = %d, want 1", lb)
+	}
+
+	ghw := GHWMode(h, nil)
+	if c := ghw.StepCost(g, 2); c != 2 {
+		t.Fatalf("ghw step cost = %d, want 2 (two binary edges cover {1,2,3})", c)
+	}
+	if lb := ghw.RootLB(g); lb != 1 {
+		t.Fatalf("ghw root lb on path = %d, want 1", lb)
+	}
+}
+
+func TestOrderCostRestores(t *testing.T) {
+	h := hypergraph.FromGraph(pathGraph(5))
+	g := elim.New(h.PrimalGraph())
+	mode := TWMode(nil)
+	cost := OrderCost(g, mode, []int{0, 1, 2, 3, 4})
+	if cost != 1 {
+		t.Fatalf("path elimination cost = %d, want 1", cost)
+	}
+	if g.Remaining() != 5 || g.Depth() != 0 {
+		t.Fatal("OrderCost did not restore the graph")
+	}
+}
