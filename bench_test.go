@@ -10,10 +10,12 @@
 package htd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"hypertree/internal/astar"
 	"hypertree/internal/bb"
@@ -297,6 +299,46 @@ func BenchmarkCountCSP(b *testing.B) {
 		if err != nil || got != want {
 			b.Fatalf("count = %d (%v), want %d", got, err, want)
 		}
+	}
+}
+
+// BenchmarkPortfolio measures the racing engine against its strongest
+// single member under the same wall-clock budget.
+func BenchmarkPortfolio(b *testing.B) {
+	h := gen.Grid2DHypergraph(10, 10)
+	for _, budget := range []time.Duration{50 * time.Millisecond, 200 * time.Millisecond} {
+		for _, m := range []Method{MethodBB, MethodPortfolio} {
+			b.Run(fmt.Sprintf("%s_%s", m, budget), func(b *testing.B) {
+				var width int
+				for i := 0; i < b.N; i++ {
+					ctx, cancel := context.WithTimeout(context.Background(), budget)
+					res, err := GHWCtx(ctx, h, Options{Method: m, Seed: 1})
+					cancel()
+					if err != nil {
+						b.Fatal(err)
+					}
+					width = res.Width
+				}
+				b.ReportMetric(float64(width), "width")
+			})
+		}
+	}
+}
+
+// BenchmarkPortfolioJobs measures the jobs cap (worker scheduling overhead)
+// at a fixed deadline.
+func BenchmarkPortfolioJobs(b *testing.B) {
+	h := gen.Grid2DHypergraph(8, 8)
+	for _, jobs := range []int{1, 2, 0} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				if _, err := GHWCtx(ctx, h, Options{Method: MethodPortfolio, Seed: 1, Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -69,7 +70,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `htd — tree and generalized hypertree decompositions
 
 commands:
-  decompose  compute a GHD of a hypergraph file (-method minfill|ga|saiga|bb|astar)
+  decompose  compute a GHD of a hypergraph file (-method minfill|ga|saiga|bb|astar|portfolio)
   tw         compute the treewidth of a DIMACS or PACE graph file
   hw         compute the exact hypertree width via det-k-decomp
   fhw        compute a fractional hypertree width upper bound
@@ -105,9 +106,11 @@ func loadGraph(path string) (*htd.Graph, error) {
 
 func cmdDecompose(args []string) error {
 	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
-	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar")
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms or 10s (0 = none); on expiry the best decomposition found so far is returned")
+	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
 	show := fs.Bool("print", false, "print the decomposition tree")
 	dotOut := fs.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 	tdOut := fs.String("td", "", "write the decomposition in PACE .td format to this file")
@@ -123,8 +126,14 @@ func cmdDecompose(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	d, err := htd.Decompose(h, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes})
+	d, err := htd.DecomposeCtx(ctx, h, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs})
 	if err != nil {
 		return err
 	}
@@ -204,9 +213,11 @@ func cmdFractional(args []string) error {
 
 func cmdTreewidth(args []string) error {
 	fs := flag.NewFlagSet("tw", flag.ExitOnError)
-	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar")
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms or 10s (0 = none); on expiry the best bounds found so far are returned")
+	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("tw: need exactly one DIMACS file")
@@ -219,8 +230,14 @@ func cmdTreewidth(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := htd.Treewidth(g, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes})
+	res, err := htd.TreewidthCtx(ctx, g, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs})
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,30 @@
 package htd_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	htd "hypertree"
 )
+
+// ExampleDecomposeCtx bounds a decomposition by a wall-clock deadline: the
+// best incumbent found within the budget is returned, already validated.
+// MethodPortfolio races min-fill, branch & bound, A* and the genetic
+// algorithm concurrently; the first proven-optimal answer cancels the rest.
+func ExampleDecomposeCtx() {
+	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d, err := htd.DecomposeCtx(ctx, h, htd.Options{Method: htd.MethodPortfolio})
+	if err != nil {
+		fmt.Println("no incumbent before the deadline:", err)
+		return
+	}
+	fmt.Println("ghw:", d.GHWidth(), "valid:", d.ValidateGHD() == nil)
+	// Output: ghw: 2 valid: true
+}
 
 // ExampleDecompose builds a small cyclic hypergraph and computes a
 // width-optimal generalized hypertree decomposition.

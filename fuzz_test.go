@@ -1,0 +1,127 @@
+// Fuzz targets for the two text input formats. Both assert the full
+// pipeline contract, not just "no panic": anything the parser accepts must
+// survive a write→reparse round-trip unchanged, and small accepted inputs
+// must decompose into a decomposition that validates.
+//
+// Run them with
+//
+//	go test -fuzz=FuzzParseHypergraph -fuzztime 30s
+//	go test -fuzz=FuzzParseDIMACS -fuzztime 30s
+//
+// Seed corpora live under testdata/fuzz/<target>/.
+package htd
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzMaxInput bounds the input size so the fuzzer spends its budget on
+// structure, not on long files that merely stress the allocator.
+const fuzzMaxInput = 64 << 10
+
+func FuzzParseHypergraph(f *testing.F) {
+	f.Add("a(x,y), b(y,z), c(z,x).")
+	f.Add("e1 (v1, v2, v3),\ne2 (v2, v4).")
+	f.Add("% comment\nfoo(a), bar(a,b) // trailing\n.")
+	f.Add("single(v).")
+	f.Add("p(x , y) , q( y ,z ).")
+	f.Add("")
+	f.Add("a(")
+	f.Add("a(x,).")
+	f.Add("a(x)) .")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > fuzzMaxInput {
+			t.Skip("oversized input")
+		}
+		h, err := ParseHypergraph(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		if h.NumEdges() == 0 {
+			t.Fatalf("accepted hypergraph with zero edges")
+		}
+
+		// Round-trip: write → reparse → same edge structure.
+		var buf bytes.Buffer
+		if err := WriteHypergraph(&buf, h); err != nil {
+			t.Fatalf("write failed on accepted input: %v", err)
+		}
+		h2, err := ParseHypergraph(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if got, want := h2.SortedEdgeView(), h.SortedEdgeView(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round-trip changed the hypergraph:\n got %v\nwant %v", got, want)
+		}
+
+		// Small accepted inputs must decompose and validate end to end.
+		if h.NumVertices() > 40 || h.NumEdges() > 60 {
+			return
+		}
+		d, err := Decompose(h, Options{Method: MethodMinFill, Seed: 1})
+		if err != nil {
+			t.Fatalf("decompose failed on parsed input: %v", err)
+		}
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatalf("invalid decomposition from parsed input: %v", err)
+		}
+	})
+}
+
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p edge 3 3\ne 1 2\ne 2 3\ne 3 1\n")
+	f.Add("c comment\np edge 4 2\ne 1 2\ne 3 4\n")
+	f.Add("p col 2 1\ne 1 2\n")
+	f.Add("p edge 0 0\n")
+	f.Add("p edge 5 0\n")
+	f.Add("e 1 2\n")
+	f.Add("p edge 2 1\ne 1 9\n")
+	f.Add("p edge 999999999 0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > fuzzMaxInput {
+			t.Skip("oversized input")
+		}
+		g, err := ParseDIMACS(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+
+		// Round-trip: write → reparse → identical vertex and edge sets.
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("write failed on accepted input: %v", err)
+		}
+		g2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if g2.NumVertices() != g.NumVertices() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatalf("round-trip changed the graph: %d/%v vs %d/%v",
+				g.NumVertices(), g.Edges(), g2.NumVertices(), g2.Edges())
+		}
+
+		// Small accepted graphs must run the full decomposition pipeline.
+		if g.NumVertices() > 30 || g.NumEdges() > 100 {
+			return
+		}
+		res, err := Treewidth(g, Options{Method: MethodMinFill, Seed: 1})
+		if err != nil {
+			t.Fatalf("treewidth failed on parsed graph: %v", err)
+		}
+		if n := g.NumVertices(); n > 0 && (res.Width < 0 || res.Width >= n) {
+			t.Fatalf("treewidth %d out of range for %d vertices", res.Width, n)
+		}
+		if g.NumEdges() > 0 {
+			d, err := Decompose(FromGraph(g), Options{Method: MethodMinFill, Seed: 1})
+			if err != nil {
+				t.Fatalf("decompose failed on parsed graph: %v", err)
+			}
+			if err := d.ValidateGHD(); err != nil {
+				t.Fatalf("invalid decomposition from parsed graph: %v", err)
+			}
+		}
+	})
+}

@@ -16,9 +16,27 @@
 //
 // Vertices and hyperedges are dense integer indices with attached names;
 // see Hypergraph. All algorithms are deterministic for a fixed Options.Seed.
+//
+// # Timeouts and the portfolio method
+//
+// Every entry point has a context-aware variant (DecomposeCtx, GHWCtx,
+// TreewidthCtx) with an anytime contract: when the deadline fires
+// mid-search the best valid incumbent found so far is returned with
+// Exact=false, together with the strongest lower bound proven; only when
+// cancellation strikes before any incumbent exists is the context error
+// returned. MethodPortfolio races a configurable method set concurrently
+// (Options.Portfolio, Options.Jobs) and cancels the stragglers as soon as
+// an exact answer lands. The winning width is deterministic for a fixed
+// Seed: smallest width first, ties preferring exact results and then the
+// earlier portfolio slot.
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+//	defer cancel()
+//	d, err := htd.DecomposeCtx(ctx, h, htd.Options{Method: htd.MethodPortfolio})
 package htd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -34,6 +52,7 @@ import (
 	"hypertree/internal/ga"
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/order"
 	"hypertree/internal/search"
 	"hypertree/internal/setcover"
@@ -114,6 +133,11 @@ const (
 	MethodBB
 	// MethodAStar runs A* (exact given budget; anytime lower bounds).
 	MethodAStar
+	// MethodPortfolio races several methods concurrently (Options.Portfolio,
+	// or DefaultPortfolio when empty) and returns the best answer; the first
+	// exact result cancels the rest. Combine with DecomposeCtx / GHWCtx /
+	// TreewidthCtx and a deadline for anytime behaviour.
+	MethodPortfolio
 )
 
 // String names the method.
@@ -129,6 +153,8 @@ func (m Method) String() string {
 		return "bb"
 	case MethodAStar:
 		return "astar"
+	case MethodPortfolio:
+		return "portfolio"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
@@ -146,8 +172,10 @@ func ParseMethod(s string) (Method, error) {
 		return MethodBB, nil
 	case "astar":
 		return MethodAStar, nil
+	case "portfolio":
+		return MethodPortfolio, nil
 	}
-	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar)", s)
+	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar|portfolio)", s)
 }
 
 // Options configures Decompose and the width functions.
@@ -163,6 +191,14 @@ type Options struct {
 	GA *GAConfig
 	// SAIGA overrides the island GA parameters.
 	SAIGA *SAIGAConfig
+	// Portfolio lists the methods MethodPortfolio races, in tie-break
+	// priority order. Empty means DefaultPortfolio. MethodPortfolio itself
+	// is not allowed as an entry.
+	Portfolio []Method
+	// Jobs caps how many portfolio workers run concurrently (≤ 0 = one per
+	// method). Queued workers that a deadline or an exact answer overtakes
+	// never start.
+	Jobs int
 }
 
 func (o Options) gaConfig(n int) ga.Config {
@@ -200,7 +236,16 @@ func (o Options) saigaConfig() ga.SAIGAConfig {
 // selected method. The returned decomposition is validated and carries λ
 // labels from exact set covers of the final ordering.
 func Decompose(h *Hypergraph, opt Options) (*Decomposition, error) {
-	o, _, err := ghwOrdering(h, opt)
+	return DecomposeCtx(context.Background(), h, opt)
+}
+
+// DecomposeCtx is Decompose under a context: pass a deadline (or cancel)
+// to bound the run. When the context expires mid-search the best valid
+// decomposition found so far is returned; only when cancellation strikes
+// before any incumbent exists does DecomposeCtx return the context error.
+// See the "Timeouts and the portfolio method" section of the README.
+func DecomposeCtx(ctx context.Context, h *Hypergraph, opt Options) (*Decomposition, error) {
+	o, _, err := ghwOrderingCtx(ctx, h, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -213,61 +258,107 @@ func Decompose(h *Hypergraph, opt Options) (*Decomposition, error) {
 
 // GHW computes (bounds on) the generalized hypertree width of h.
 func GHW(h *Hypergraph, opt Options) (Result, error) {
-	_, res, err := ghwOrdering(h, opt)
+	return GHWCtx(context.Background(), h, opt)
+}
+
+// GHWCtx is GHW under a context; see DecomposeCtx for the cancellation
+// contract. Cancelled exact searches report their incumbent with
+// Exact=false and the best lower bound proven so far.
+func GHWCtx(ctx context.Context, h *Hypergraph, opt Options) (Result, error) {
+	_, res, err := ghwOrderingCtx(ctx, h, opt)
 	return res, err
 }
 
-func ghwOrdering(h *Hypergraph, opt Options) (order.Ordering, Result, error) {
+func ghwOrderingCtx(ctx context.Context, h *Hypergraph, opt Options) (order.Ordering, Result, error) {
 	n := h.NumVertices()
 	if n == 0 {
 		return nil, Result{Exact: true, Ordering: []int{}}, nil
 	}
+	var res Result
 	switch opt.Method {
 	case MethodMinFill:
 		g := h.PrimalGraph()
 		e := elimNew(g)
-		ord, _ := heur.MinFill(e, rand.New(rand.NewSource(opt.Seed)))
+		ord, _, err := heur.MinFillCtx(ctx, e, rand.New(rand.NewSource(opt.Seed)))
+		if err != nil {
+			return nil, Result{}, err
+		}
 		w := order.GHWidth(h, ord, nil, true)
-		return ord, Result{Width: w, LowerBound: 0, Ordering: ord}, nil
+		res = Result{Width: w, LowerBound: 0, Ordering: ord}
 	case MethodGA:
-		res := ga.GHW(h, opt.gaConfig(n))
-		return res.Ordering, Result{Width: res.Width, Ordering: res.Ordering}, nil
+		r := ga.GHWCtx(ctx, h, opt.gaConfig(n))
+		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
-		res := ga.SAIGAGHW(h, opt.saigaConfig())
-		return res.Ordering, Result{Width: res.Width, Ordering: res.Ordering}, nil
+		r := ga.SAIGAGHWCtx(ctx, h, opt.saigaConfig())
+		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
-		res := bb.GHW(h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
-		return res.Ordering, res, nil
+		res = bb.GHWCtx(ctx, h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
 	case MethodAStar:
-		res := astar.GHW(h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
-		return res.Ordering, res, nil
+		res = astar.GHWCtx(ctx, h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+	case MethodPortfolio:
+		return portfolioGHW(ctx, h, opt)
+	default:
+		return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
-	return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
+	// A nil ordering on a non-empty instance means cancellation struck
+	// before the method's initial heuristic produced an incumbent.
+	if res.Ordering == nil {
+		if err := interrupt.Cause(ctx); err != nil {
+			return nil, Result{}, err
+		}
+		return nil, Result{}, fmt.Errorf("htd: method %v produced no ordering", opt.Method)
+	}
+	return res.Ordering, res, nil
 }
 
 // Treewidth computes (bounds on) the treewidth of g.
 func Treewidth(g *Graph, opt Options) (Result, error) {
-	h := hypergraph.FromGraph(g)
+	return TreewidthCtx(context.Background(), g, opt)
+}
+
+// TreewidthCtx is Treewidth under a context; see DecomposeCtx for the
+// cancellation contract.
+func TreewidthCtx(ctx context.Context, g *Graph, opt Options) (Result, error) {
 	if g.NumVertices() == 0 {
 		return Result{Exact: true, Ordering: []int{}}, nil
 	}
+	if opt.Method == MethodPortfolio {
+		return portfolioTreewidth(ctx, g, opt)
+	}
+	return treewidthOne(ctx, g, opt)
+}
+
+// treewidthOne runs a single (non-portfolio) treewidth method under ctx.
+func treewidthOne(ctx context.Context, g *Graph, opt Options) (Result, error) {
+	var res Result
 	switch opt.Method {
 	case MethodMinFill:
 		e := elimNew(g)
-		ord, w := heur.MinFill(e, rand.New(rand.NewSource(opt.Seed)))
-		return Result{Width: w, Ordering: ord}, nil
+		ord, w, err := heur.MinFillCtx(ctx, e, rand.New(rand.NewSource(opt.Seed)))
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Width: w, Ordering: ord}
 	case MethodGA:
-		res := ga.Treewidth(h, opt.gaConfig(g.NumVertices()))
-		return Result{Width: res.Width, Ordering: res.Ordering}, nil
+		r := ga.TreewidthCtx(ctx, hypergraph.FromGraph(g), opt.gaConfig(g.NumVertices()))
+		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
-		res := ga.SAIGATreewidth(h, opt.saigaConfig())
-		return Result{Width: res.Width, Ordering: res.Ordering}, nil
+		r := ga.SAIGATreewidthCtx(ctx, hypergraph.FromGraph(g), opt.saigaConfig())
+		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
-		return bb.Treewidth(g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed}), nil
+		res = bb.TreewidthCtx(ctx, g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
 	case MethodAStar:
-		return astar.Treewidth(g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed}), nil
+		res = astar.TreewidthCtx(ctx, g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+	default:
+		return Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
-	return Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
+	if res.Ordering == nil {
+		if err := interrupt.Cause(ctx); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("htd: method %v produced no ordering", opt.Method)
+	}
+	return res, nil
 }
 
 // TreewidthBounds returns fast heuristic lower and upper bounds on the

@@ -18,26 +18,43 @@ package astar
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/elim"
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/reduce"
 	"hypertree/internal/search"
 )
 
 // Treewidth runs A*-tw on g.
 func Treewidth(g *hypergraph.Graph, opt search.Options) search.Result {
+	return TreewidthCtx(context.Background(), g, opt)
+}
+
+// TreewidthCtx runs A*-tw under a context: when ctx is cancelled the search
+// stops promptly and returns the heuristic incumbent together with the
+// anytime lower bound of §5.3 (Exact=false), exactly as when a node or
+// memory budget is exhausted. See search.Result for the no-incumbent
+// corner case.
+func TreewidthCtx(ctx context.Context, g *hypergraph.Graph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(elim.New(g), search.TWMode(rng), opt)
+	return run(ctx, elim.New(g), search.TWModeCtx(ctx, rng), opt)
 }
 
 // GHW runs A*-ghw on h.
 func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
+	return GHWCtx(context.Background(), h, opt)
+}
+
+// GHWCtx runs A*-ghw under a context; see TreewidthCtx for the
+// cancellation contract.
+func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(elim.New(h.PrimalGraph()), search.GHWMode(h, rng), opt)
+	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeCtx(ctx, h, rng), opt)
 }
 
 // state is a node of the search tree (§5.2.2): the partial ordering is
@@ -83,7 +100,7 @@ func (q *queue) Pop() any {
 
 const defaultMaxStates = 1 << 22
 
-func run(g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
+func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
 	n := g.Remaining()
 	if n == 0 {
 		return search.Result{Exact: true, Ordering: []int{}}
@@ -92,9 +109,13 @@ func run(g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
 	}
+	chk := interrupt.New(ctx, 4)
 
 	rng := rand.New(rand.NewSource(opt.Seed))
-	ubOrder, _ := heur.MinFill(g, rng)
+	ubOrder, _, err := heur.MinFillCtx(ctx, g, rng)
+	if err != nil {
+		return search.Result{}
+	}
 	ub := search.OrderCost(g, mode, ubOrder)
 	lb := mode.RootLB(g)
 	if lb >= ub {
@@ -130,6 +151,13 @@ func run(g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
 				Ordering: ubOrder, Nodes: nodes,
 			}
 		}
+		if chk.Stop() {
+			g.RestoreTo(0)
+			return search.Result{
+				Width: ub, LowerBound: min(bestF, ub), Exact: false,
+				Ordering: ubOrder, Nodes: nodes,
+			}
+		}
 		if s.f > bestF {
 			bestF = s.f // anytime lower bound (§5.3)
 		}
@@ -148,11 +176,19 @@ func run(g *elim.Graph, mode search.Mode, opt search.Options) search.Result {
 			return search.Result{Width: s.g, LowerBound: s.g, Exact: true, Ordering: ordering, Nodes: nodes}
 		}
 
-		// Expand children.
+		// Expand children. Each child costs a step-cost evaluation and a
+		// residual bound, so poll within the loop as well.
 		for _, v := range s.children {
+			if chk.Stop() {
+				g.RestoreTo(0)
+				return search.Result{
+					Width: ub, LowerBound: min(bestF, ub), Exact: false,
+					Ordering: ubOrder, Nodes: nodes,
+				}
+			}
 			var childPR2 *bitset.Set
 			if !opt.DisablePR2 && !s.reduced {
-				childPR2 = search.PR2Pruned(g, v)
+				childPR2 = search.PR2Pruned(g, v, mode.Swappable)
 			}
 			step := mode.StepCost(g, v)
 			cg := max(s.g, step)
@@ -264,7 +300,7 @@ func rootChildren(g *elim.Graph, mode search.Mode, opt search.Options, lb int) (
 // reduction rule applies, otherwise all remaining vertices minus the PR2
 // pruned set.
 func successors(g *elim.Graph, mode search.Mode, opt search.Options, f int, pr2 *bitset.Set) ([]int, bool) {
-	if !opt.DisableReduction {
+	if !opt.DisableReduction && mode.Reduction {
 		if v, ok := reduce.Find(g, f); ok {
 			return []int{v}, true
 		}

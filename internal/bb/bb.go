@@ -16,27 +16,43 @@
 package bb
 
 import (
+	"context"
 	"math/rand"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/elim"
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/reduce"
 	"hypertree/internal/search"
 )
 
 // Treewidth runs BB-tw on g.
 func Treewidth(g *hypergraph.Graph, opt search.Options) search.Result {
+	return TreewidthCtx(context.Background(), g, opt)
+}
+
+// TreewidthCtx runs BB-tw under a context: when ctx is cancelled the search
+// stops promptly and the incumbent upper bound plus the proven lower bound
+// are returned with Exact=false (anytime behaviour, like an exhausted node
+// budget). See search.Result for the no-incumbent corner case.
+func TreewidthCtx(ctx context.Context, g *hypergraph.Graph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(elim.New(g), search.TWMode(rng), rng, opt)
+	return run(ctx, elim.New(g), search.TWModeCtx(ctx, rng), rng, opt)
 }
 
 // GHW runs BB-ghw on h: branch and bound over elimination orderings with
 // exact set covers (Theorem 3 makes this space complete for ghw).
 func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
+	return GHWCtx(context.Background(), h, opt)
+}
+
+// GHWCtx runs BB-ghw under a context; see TreewidthCtx for the
+// cancellation contract.
+func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(elim.New(h.PrimalGraph()), search.GHWMode(h, rng), rng, opt)
+	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeCtx(ctx, h, rng), rng, opt)
 }
 
 type bbState struct {
@@ -44,12 +60,13 @@ type bbState struct {
 	mode search.Mode
 	opt  search.Options
 	rng  *rand.Rand
+	chk  *interrupt.Checker
 
 	ub      int   // incumbent width
 	best    []int // incumbent ordering
 	prefix  []int // current elimination prefix
 	nodes   int64
-	stopped bool // node budget exhausted
+	stopped bool // node budget exhausted or context cancelled
 
 	// proven lower bound: min over open leaves of their f; tracked as the
 	// root bound plus improvements when the whole tree is closed.
@@ -62,8 +79,8 @@ type bbState struct {
 const maxDominanceEntries = 1 << 21
 
 // run executes the generic branch and bound.
-func run(g *elim.Graph, mode search.Mode, rng *rand.Rand, opt search.Options) search.Result {
-	s := &bbState{g: g, mode: mode, opt: opt, rng: rng}
+func run(ctx context.Context, g *elim.Graph, mode search.Mode, rng *rand.Rand, opt search.Options) search.Result {
+	s := &bbState{g: g, mode: mode, opt: opt, rng: rng, chk: interrupt.New(ctx, 4)}
 	if !opt.DisableDominance {
 		s.dom = make(map[string]int)
 	}
@@ -73,8 +90,13 @@ func run(g *elim.Graph, mode search.Mode, rng *rand.Rand, opt search.Options) se
 		return search.Result{Exact: true, Ordering: []int{}}
 	}
 
-	// Initial bounds: min-fill upper bound, combined lower bound.
-	initOrder, _ := heur.MinFill(g, rng)
+	// Initial bounds: min-fill upper bound, combined lower bound. If the
+	// deadline strikes before even the initial heuristic completes there is
+	// no incumbent to report (Ordering nil).
+	initOrder, _, err := heur.MinFillCtx(ctx, g, rng)
+	if err != nil {
+		return search.Result{}
+	}
 	s.ub = search.OrderCost(g, mode, initOrder)
 	s.best = append([]int(nil), initOrder...)
 	lb := mode.RootLB(g)
@@ -113,6 +135,10 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		s.stopped = true
 		return
 	}
+	if s.chk.Stop() {
+		s.stopped = true
+		return
+	}
 
 	rem := s.g.Remaining()
 	if rem == 0 {
@@ -135,10 +161,11 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 	}
 
 	// Reduction rule: branch only on a simplicial / strongly almost
-	// simplicial vertex when one exists.
+	// simplicial vertex when one exists — only in modes whose cost
+	// structure supports it (treewidth yes, ghw no; see Mode.Reduction).
 	var candidates []int
 	reduced := false
-	if !s.opt.DisableReduction {
+	if !s.opt.DisableReduction && s.mode.Reduction {
 		if v, ok := reduce.Find(s.g, f); ok {
 			candidates = []int{v}
 			reduced = true
@@ -157,11 +184,18 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		if s.stopped {
 			return
 		}
+		// Candidate expansion does real work (PR2, set-cover step costs,
+		// residual bounds), so poll here too — a single node's loop can
+		// otherwise outlive a deadline by many milliseconds.
+		if s.chk.Stop() {
+			s.stopped = true
+			return
+		}
 		// Child bound pieces must be computed before elimination (PR2) and
 		// after (residual lower bound).
 		var childPR2 *bitset.Set
 		if !s.opt.DisablePR2 && !reduced {
-			childPR2 = search.PR2Pruned(s.g, v)
+			childPR2 = search.PR2Pruned(s.g, v, s.mode.Swappable)
 		}
 		step := s.mode.StepCost(s.g, v)
 		cg := max(gc, step)

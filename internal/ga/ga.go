@@ -1,12 +1,14 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"hypertree/internal/elim"
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/order"
 )
 
@@ -65,29 +67,47 @@ type Result struct {
 // Treewidth runs algorithm GA-tw (Fig. 6.1) on the primal graph of h and
 // returns an upper bound on the treewidth.
 func Treewidth(h *hypergraph.Hypergraph, cfg Config) Result {
+	return TreewidthCtx(context.Background(), h, cfg)
+}
+
+// TreewidthCtx runs GA-tw under a context: cancellation is checked between
+// fitness evaluations and the best individual found so far is returned
+// (the first individual is always evaluated, so a non-empty instance
+// always yields an incumbent).
+func TreewidthCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := order.NewTWEvaluator(h)
-	return evolve(h.NumVertices(), cfg, rng, ev.Width, heuristicSeeds(h, cfg, rng))
+	return evolve(ctx, h.NumVertices(), cfg, rng, ev.Width, heuristicSeeds(ctx, h, cfg, rng))
 }
 
 // GHW runs algorithm GA-ghw (§7.1) on h and returns an upper bound on the
 // generalized hypertree width. Individuals are evaluated with the greedy
 // set-cover heuristic (Fig. 7.1/7.2) with random tie-breaking.
 func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ev := order.NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed+1)), false)
-	return evolve(h.NumVertices(), cfg, rng, ev.Width, heuristicSeeds(h, cfg, rng))
+	return GHWCtx(context.Background(), h, cfg)
 }
 
-// heuristicSeeds produces the configured number of min-fill orderings.
-func heuristicSeeds(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) []order.Ordering {
+// GHWCtx runs GA-ghw under a context; see TreewidthCtx for the
+// cancellation contract.
+func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ev := order.NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed+1)), false)
+	return evolve(ctx, h.NumVertices(), cfg, rng, ev.Width, heuristicSeeds(ctx, h, cfg, rng))
+}
+
+// heuristicSeeds produces the configured number of min-fill orderings,
+// stopping early (with fewer seeds) when ctx is cancelled.
+func heuristicSeeds(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) []order.Ordering {
 	if cfg.HeuristicSeeds <= 0 {
 		return nil
 	}
 	g := elim.New(h.PrimalGraph())
 	seeds := make([]order.Ordering, 0, cfg.HeuristicSeeds)
 	for i := 0; i < cfg.HeuristicSeeds; i++ {
-		o, _ := heur.MinFill(g, rng)
+		o, _, err := heur.MinFillCtx(ctx, g, rng)
+		if err != nil {
+			break
+		}
 		seeds = append(seeds, o)
 	}
 	return seeds
@@ -95,8 +115,8 @@ func heuristicSeeds(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) []orde
 
 // evolve is the generic GA loop of Fig. 6.1 over permutations of n
 // vertices with integer width fitness; it wraps the float-fitness engine.
-func evolve(n int, cfg Config, rng *rand.Rand, width func(order.Ordering) int, seeds []order.Ordering) Result {
-	fl := evolveFloat(n, cfg, rng, func(o order.Ordering) float64 { return float64(width(o)) }, seeds...)
+func evolve(ctx context.Context, n int, cfg Config, rng *rand.Rand, width func(order.Ordering) int, seeds []order.Ordering) Result {
+	fl := evolveFloat(ctx, n, cfg, rng, func(o order.Ordering) float64 { return float64(width(o)) }, seeds...)
 	hist := make([]int, len(fl.History))
 	for i, v := range fl.History {
 		hist[i] = int(v)
@@ -124,14 +144,20 @@ type FloatResult struct {
 // evolveFloat is the generic GA loop of Fig. 6.1 over permutations of n
 // vertices; fitness is any real-valued objective (smaller is fitter).
 // Optional seed orderings replace the first individuals of the initial
-// population.
-func evolveFloat(n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) float64, seeds ...order.Ordering) FloatResult {
+// population. Cancellation is polled between fitness evaluations and at
+// generation boundaries; the best-so-far individual is returned either
+// way. The first individual is evaluated before the first poll, so the
+// result always carries an incumbent.
+func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) float64, seeds ...order.Ordering) FloatResult {
 	if cfg.PopulationSize < 2 {
 		cfg.PopulationSize = 2
 	}
 	if cfg.TournamentSize < 1 {
 		cfg.TournamentSize = 1
 	}
+	// Stride 1: a fitness evaluation costs orders of magnitude more than a
+	// wall-clock poll, so checking after every evaluation is free.
+	chk := interrupt.New(ctx, 1)
 	pop := make([]order.Ordering, cfg.PopulationSize)
 	fit := make([]float64, cfg.PopulationSize)
 	dirty := make([]bool, cfg.PopulationSize)
@@ -153,15 +179,24 @@ func evolveFloat(n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) 
 	}
 
 	// Initialize population(0): optional heuristic seeds, then random
-	// individuals.
+	// individuals. On cancellation the remaining slots are filled without
+	// evaluation (fitness +Inf) and the loop below is skipped.
+	cancelled := false
 	for i := range pop {
 		if i < len(seeds) && len(seeds[i]) == n {
 			pop[i] = seeds[i].Clone()
 		} else {
 			pop[i] = order.Random(n, rng)
 		}
+		if cancelled {
+			fit[i] = math.Inf(1)
+			continue
+		}
 		evaluate(i)
 		noteBest(i)
+		if chk.Stop() {
+			cancelled = true
+		}
 	}
 	history := make([]float64, 0, cfg.Generations+1)
 	history = append(history, bestW)
@@ -169,7 +204,7 @@ func evolveFloat(n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) 
 	next := make([]order.Ordering, cfg.PopulationSize)
 	nextFit := make([]float64, cfg.PopulationSize)
 
-	for gen := 0; gen < cfg.Generations; gen++ {
+	for gen := 0; gen < cfg.Generations && !cancelled; gen++ {
 		// Selection: tournament of size s, repeated n times.
 		for i := range next {
 			winner := rng.Intn(cfg.PopulationSize)
@@ -211,9 +246,16 @@ func evolveFloat(n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) 
 		// Evaluation of changed individuals.
 		for i := range pop {
 			if dirty[i] {
+				if chk.Stop() {
+					cancelled = true
+					break
+				}
 				evaluate(i)
 			}
 			noteBest(i)
+		}
+		if cancelled {
+			break
 		}
 
 		// Elitism: reinject the global best over the worst individual.

@@ -1,11 +1,13 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
 
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/order"
 )
 
@@ -121,22 +123,36 @@ type SAIGAResult struct {
 // SAIGAGHW runs SAIGA-ghw on h and returns an upper bound on its
 // generalized hypertree width.
 func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
+	return SAIGAGHWCtx(context.Background(), h, cfg)
+}
+
+// SAIGAGHWCtx runs SAIGA-ghw under a context: cancellation is polled
+// between fitness evaluations and at epoch boundaries, and the best
+// individual across all islands found so far is returned. Each island owns
+// its rand source and evaluator (cloned per island), so cancellation of a
+// Parallel run is race-free.
+func SAIGAGHWCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
 	mkEval := func(i int) func(order.Ordering) int {
 		return order.NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed+1000+int64(i))), false).Width
 	}
-	return saiga(h.NumVertices(), cfg, mkEval)
+	return saiga(ctx, h.NumVertices(), cfg, mkEval)
 }
 
 // SAIGATreewidth runs the same self-adaptive island scheme with the
 // treewidth fitness (an extension the thesis mentions as applicable).
 func SAIGATreewidth(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
+	return SAIGATreewidthCtx(context.Background(), h, cfg)
+}
+
+// SAIGATreewidthCtx is SAIGATreewidth under a context; see SAIGAGHWCtx.
+func SAIGATreewidthCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
 	mkEval := func(int) func(order.Ordering) int {
 		return order.NewTWEvaluator(h).Width
 	}
-	return saiga(h.NumVertices(), cfg, mkEval)
+	return saiga(ctx, h.NumVertices(), cfg, mkEval)
 }
 
-func saiga(n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) SAIGAResult {
+func saiga(ctx context.Context, n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) SAIGAResult {
 	if cfg.Islands < 2 {
 		cfg.Islands = 2
 	}
@@ -147,7 +163,13 @@ func saiga(n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) 
 		cfg.MigrationSize = cfg.IslandPop / 2
 	}
 	adaptRng := rand.New(rand.NewSource(cfg.Seed))
+	chk := interrupt.New(ctx, 1)
 
+	// Island initialization. On cancellation the remaining individuals are
+	// filled without evaluation (fitness n+1, never better than any
+	// evaluated width since widths are ≤ n). The very first individual is
+	// evaluated before the first poll, so there is always an incumbent.
+	cancelled := false
 	islands := make([]*island, cfg.Islands)
 	for i := range islands {
 		isl := &island{
@@ -160,11 +182,18 @@ func saiga(n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) 
 		isl.par = randomParams(isl.rng)
 		for j := range isl.pop {
 			isl.pop[j] = order.Random(n, isl.rng)
+			if cancelled {
+				isl.fit[j] = n + 1
+				continue
+			}
 			isl.fit[j] = isl.eval(isl.pop[j])
 			isl.evals++
 			if isl.fit[j] < isl.bestW {
 				isl.bestW = isl.fit[j]
 				isl.bestO = isl.pop[j].Clone()
+			}
+			if chk.Stop() {
+				cancelled = true
 			}
 		}
 		islands[i] = isl
@@ -172,23 +201,27 @@ func saiga(n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) 
 
 	history := []int{globalBest(islands)}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := 0; epoch < cfg.Epochs && !cancelled; epoch++ {
 		// Evolve each island with its own parameters — concurrently when
 		// configured; islands share no mutable state between migrations.
+		// Each goroutine polls ctx through its own interrupt.Checker.
 		if cfg.Parallel {
 			var wg sync.WaitGroup
 			for _, isl := range islands {
 				wg.Add(1)
 				go func(isl *island) {
 					defer wg.Done()
-					evolveIsland(isl, cfg)
+					evolveIsland(ctx, isl, cfg)
 				}(isl)
 			}
 			wg.Wait()
 		} else {
 			for _, isl := range islands {
-				evolveIsland(isl, cfg)
+				evolveIsland(ctx, isl, cfg)
 			}
+		}
+		if chk.Now() {
+			break
 		}
 
 		// Migration: best MigrationSize individuals replace the worst of
@@ -219,11 +252,12 @@ func saiga(n int, cfg SAIGAConfig, mkEval func(i int) func(order.Ordering) int) 
 		history = append(history, globalBest(islands))
 	}
 
-	// Collect final answer.
+	// Collect final answer. Islands cancelled before their first
+	// evaluation have no incumbent (bestO nil) and are skipped.
 	res := SAIGAResult{}
 	res.Width = n + 1
 	for _, isl := range islands {
-		if isl.bestW < res.Width {
+		if isl.bestO != nil && isl.bestW < res.Width {
 			res.Width = isl.bestW
 			res.Ordering = isl.bestO
 		}
@@ -250,7 +284,11 @@ func globalBest(islands []*island) int {
 
 // evolveIsland runs EpochLength generations of the Fig. 6.1 loop on one
 // island with its current parameter vector, using only island-local state.
-func evolveIsland(isl *island, cfg SAIGAConfig) {
+// It polls ctx between fitness evaluations through an island-local checker
+// (interrupt.Checker is not concurrency-safe) and returns early when
+// cancelled, leaving the island's incumbent intact.
+func evolveIsland(ctx context.Context, isl *island, cfg SAIGAConfig) {
+	chk := interrupt.New(ctx, 1)
 	popSize := len(isl.pop)
 	rng := isl.rng
 	next := make([]order.Ordering, popSize)
@@ -286,8 +324,19 @@ func evolveIsland(isl *island, cfg SAIGAConfig) {
 				isl.fit[i] = -1
 			}
 		}
+		cancelled := false
 		for i := range isl.pop {
 			if isl.fit[i] < 0 {
+				if !cancelled && chk.Stop() {
+					cancelled = true
+				}
+				if cancelled {
+					// Unevaluated after cancellation: assign a fitness no
+					// real width (≤ n) can lose to, so selection and
+					// migration never propagate the -1 marker.
+					isl.fit[i] = len(isl.pop[i]) + 1
+					continue
+				}
 				isl.fit[i] = isl.eval(isl.pop[i])
 				isl.evals++
 			}
@@ -295,6 +344,9 @@ func evolveIsland(isl *island, cfg SAIGAConfig) {
 				isl.bestW = isl.fit[i]
 				isl.bestO = isl.pop[i].Clone()
 			}
+		}
+		if cancelled {
+			return
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -32,7 +33,7 @@ func WeightedTreewidth(h *hypergraph.Hypergraph, states []int, cfg Config) Float
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := newWeightedEvaluator(h, states)
-	return evolveFloat(h.NumVertices(), cfg, rng, ev.weight)
+	return evolveFloat(context.Background(), h.NumVertices(), cfg, rng, ev.weight)
 }
 
 // WeightedWidth evaluates the Larrañaga objective of a single ordering:

@@ -12,9 +12,11 @@
 package heur
 
 import (
+	"context"
 	"math/rand"
 
 	"hypertree/internal/elim"
+	"hypertree/internal/interrupt"
 )
 
 // pick returns a uniformly random element of candidates using rng, or the
@@ -34,21 +36,35 @@ func pick(candidates []int, rng *rand.Rand) int {
 // randomly. It returns the elimination ordering of g's remaining vertices
 // and the width of the induced tree decomposition.
 func MinFill(g *elim.Graph, rng *rand.Rand) ([]int, int) {
-	return greedyOrdering(g, rng, func(c *elim.Graph, v int) int { return c.FillCount(v) })
+	o, w, _ := MinFillCtx(context.Background(), g, rng)
+	return o, w
+}
+
+// MinFillCtx is MinFill with cancellation: it checks ctx once per
+// elimination step and returns ctx's error (and no ordering) when cancelled.
+// A partial greedy ordering is useless — unlike the lower-bound heuristics
+// there is no anytime value to salvage — so cancellation aborts outright.
+func MinFillCtx(ctx context.Context, g *elim.Graph, rng *rand.Rand) ([]int, int, error) {
+	return greedyOrdering(ctx, g, rng, func(c *elim.Graph, v int) int { return c.FillCount(v) })
 }
 
 // MinDegree runs the min-degree ordering heuristic: repeatedly eliminate a
 // vertex of minimum current degree.
 func MinDegree(g *elim.Graph, rng *rand.Rand) ([]int, int) {
-	return greedyOrdering(g, rng, func(c *elim.Graph, v int) int { return c.Degree(v) })
+	o, w, _ := greedyOrdering(context.Background(), g, rng, func(c *elim.Graph, v int) int { return c.Degree(v) })
+	return o, w
 }
 
-func greedyOrdering(g *elim.Graph, rng *rand.Rand, score func(*elim.Graph, int) int) ([]int, int) {
+func greedyOrdering(ctx context.Context, g *elim.Graph, rng *rand.Rand, score func(*elim.Graph, int) int) ([]int, int, error) {
+	chk := interrupt.New(ctx, 1)
 	c := g.Clone()
 	ordering := make([]int, 0, c.Remaining())
 	width := 0
 	var ties []int
 	for c.Remaining() > 0 {
+		if chk.Stop() {
+			return nil, 0, interrupt.Cause(ctx)
+		}
 		best := int(^uint(0) >> 1)
 		ties = ties[:0]
 		c.ForEachRemaining(func(v int) {
@@ -68,7 +84,7 @@ func greedyOrdering(g *elim.Graph, rng *rand.Rand, score func(*elim.Graph, int) 
 		}
 		ordering = append(ordering, v)
 	}
-	return ordering, width
+	return ordering, width, nil
 }
 
 // MaxCardinality runs maximum-cardinality search: repeatedly select the
@@ -127,10 +143,22 @@ func MaxCardinality(g *elim.Graph, rng *rand.Rand) ([]int, int) {
 // minimum-degree vertex with its least-degree neighbour. The maximum
 // recorded degree is a lower bound on treewidth.
 func MinorMinWidth(g *elim.Graph, rng *rand.Rand) int {
+	return MinorMinWidthCtx(context.Background(), g, rng)
+}
+
+// MinorMinWidthCtx is MinorMinWidth with cancellation. Each degree recorded
+// during the contraction process is by itself a valid treewidth lower
+// bound, so aborting early simply returns a (possibly weaker) admissible
+// bound — no error is needed.
+func MinorMinWidthCtx(ctx context.Context, g *elim.Graph, rng *rand.Rand) int {
+	chk := interrupt.New(ctx, 8)
 	c := g.Clone()
 	lb := 0
 	var ties []int
 	for c.Remaining() > 0 {
+		if chk.Stop() {
+			return lb
+		}
 		// Find min-degree vertex.
 		best := int(^uint(0) >> 1)
 		ties = ties[:0]
@@ -187,9 +215,19 @@ func leastDegreeNeighbor(c *elim.Graph, v int, rng *rand.Rand) int {
 // contract it with a least-degree neighbour, repeat. For a complete
 // residual graph γ = n−1.
 func MinorGammaR(g *elim.Graph, rng *rand.Rand) int {
+	return MinorGammaRCtx(context.Background(), g, rng)
+}
+
+// MinorGammaRCtx is MinorGammaR with cancellation; like MinorMinWidthCtx,
+// an early abort returns the (admissible) bound accumulated so far.
+func MinorGammaRCtx(ctx context.Context, g *elim.Graph, rng *rand.Rand) int {
+	chk := interrupt.New(ctx, 8)
 	c := g.Clone()
 	lb := 0
 	for c.Remaining() > 1 {
+		if chk.Stop() {
+			return lb
+		}
 		vs := c.RemainingVertices()
 		// Sort ascending by degree (stable by index for determinism).
 		sortByDegree(c, vs)
@@ -259,8 +297,14 @@ func Degeneracy(g *elim.Graph) int {
 // LowerBound returns the combined treewidth lower bound used by A*-tw and
 // BB-ghw: the maximum of minor-min-width and minor-γ_R (§5.1).
 func LowerBound(g *elim.Graph, rng *rand.Rand) int {
-	lb := MinorMinWidth(g, rng)
-	if r := MinorGammaR(g, rng); r > lb {
+	return LowerBoundCtx(context.Background(), g, rng)
+}
+
+// LowerBoundCtx is LowerBound with cancellation; aborting early yields a
+// weaker but still admissible bound.
+func LowerBoundCtx(ctx context.Context, g *elim.Graph, rng *rand.Rand) int {
+	lb := MinorMinWidthCtx(ctx, g, rng)
+	if r := MinorGammaRCtx(ctx, g, rng); r > lb {
 		lb = r
 	}
 	return lb

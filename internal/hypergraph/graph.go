@@ -18,11 +18,13 @@ type Graph struct {
 }
 
 // NewGraph returns an edgeless graph with n vertices named "v0".."v(n-1)".
+// Adjacency bitsets start empty and grow on AddEdge, so the cost of an
+// edgeless graph is O(n), not O(n²) — important when n comes from an
+// untrusted file header.
 func NewGraph(n int) *Graph {
 	g := &Graph{adj: make([]*bitset.Set, n), names: make([]string, n)}
 	for i := range g.adj {
-		g.adj[i] = bitset.New(n)
-		g.names[i] = fmt.Sprintf("v%d", i)
+		g.adj[i] = &bitset.Set{}
 	}
 	return g
 }
@@ -33,8 +35,13 @@ func (g *Graph) NumVertices() int { return len(g.adj) }
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.numEdges }
 
-// Name returns the display name of vertex v.
-func (g *Graph) Name(v int) string { return g.names[v] }
+// Name returns the display name of vertex v ("v<i>" unless renamed).
+func (g *Graph) Name(v int) string {
+	if g.names[v] == "" {
+		return fmt.Sprintf("v%d", v)
+	}
+	return g.names[v]
+}
 
 // SetName sets the display name of vertex v.
 func (g *Graph) SetName(v int, name string) { g.names[v] = name }

@@ -9,6 +9,11 @@ import (
 	"strings"
 )
 
+// MaxParseVertices caps the vertex count a graph file header may declare.
+// The cap keeps a hostile few-byte header ("p edge 999999999 0") from
+// forcing gigabytes of allocation before any edge is read.
+const MaxParseVertices = 1 << 20
+
 // ParseDIMACS reads a graph in DIMACS graph-colouring format:
 //
 //	c comment
@@ -16,7 +21,8 @@ import (
 //	e <u> <v>
 //
 // Vertex numbers in the file are 1-based; they are mapped to 0-based indices
-// and named after their 1-based number.
+// and named after their 1-based number. Headers declaring more than
+// MaxParseVertices vertices are rejected.
 func ParseDIMACS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -38,6 +44,9 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("dimacs: line %d: bad vertex count", line)
+			}
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("dimacs: line %d: vertex count %d exceeds limit %d", line, n, MaxParseVertices)
 			}
 			g = NewGraph(n)
 			for i := 0; i < n; i++ {

@@ -34,6 +34,9 @@ func ParsePACE(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("pace: line %d: bad vertex count", line)
 			}
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("pace: line %d: vertex count %d exceeds limit %d", line, n, MaxParseVertices)
+			}
 			g = NewGraph(n)
 			for i := 0; i < n; i++ {
 				g.SetName(i, strconv.Itoa(i+1))

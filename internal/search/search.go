@@ -21,6 +21,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 
 	"hypertree/internal/bitset"
@@ -44,16 +45,41 @@ type Mode struct {
 	// RootLB is a (possibly slower, stronger) lower bound used once at the
 	// root of a search.
 	RootLB func(g *elim.Graph) int
+	// Reduction reports whether the simplicial / strongly almost simplicial
+	// branching restriction (§4.4.3) preserves optimality under this cost
+	// structure. It holds for treewidth, where eliminating a simplicial
+	// vertex costs exactly its degree and cannot hurt any completion. It
+	// does NOT hold for generalized hypertree width: the forced vertex fixes
+	// which χ-sets must be covered, and a cover-optimal ordering may need to
+	// eliminate elsewhere first (on the 3×3 grid hypergraph the restriction
+	// yields 3 while ghw over orderings is 2).
+	Reduction bool
+	// Swappable reports whether the orderings "…, v, w, …" and
+	// "…, w, v, …" have equal width under this cost structure, evaluated on
+	// the graph in which neither vertex has been eliminated (Pruning Rule
+	// 2). Width measures justify different tests; see PR2Swappable and
+	// NonAdjacentSwappable.
+	Swappable func(g *elim.Graph, v, w int) bool
 }
 
 // TWMode returns the treewidth cost mode. rng feeds the randomised
 // tie-breaking of the lower-bound heuristic; it may be nil.
 func TWMode(rng *rand.Rand) Mode {
+	return TWModeCtx(context.Background(), rng)
+}
+
+// TWModeCtx is TWMode with cancellation plumbed into the bound heuristics:
+// when ctx is cancelled the lower-bound computations abort early with
+// weaker (still admissible) bounds, so a cancelled search unwinds without
+// finishing a potentially expensive per-node heuristic first.
+func TWModeCtx(ctx context.Context, rng *rand.Rand) Mode {
 	return Mode{
 		StepCost:   func(g *elim.Graph, v int) int { return g.Degree(v) },
-		ResidualLB: func(g *elim.Graph) int { return heur.MinorMinWidth(g, rng) },
+		ResidualLB: func(g *elim.Graph) int { return heur.MinorMinWidthCtx(ctx, g, rng) },
 		FinishCost: func(g *elim.Graph) int { return g.Remaining() - 1 },
-		RootLB:     func(g *elim.Graph) int { return heur.LowerBound(g, rng) },
+		RootLB:     func(g *elim.Graph) int { return heur.LowerBoundCtx(ctx, g, rng) },
+		Reduction:  true,
+		Swappable:  PR2Swappable,
 	}
 }
 
@@ -63,6 +89,12 @@ func TWMode(rng *rand.Rand) Mode {
 // vertex set, which is a valid completion cost because covering is
 // monotone: every future χ-set is a subset of the current remaining set.
 func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
+	return GHWModeCtx(context.Background(), h, rng)
+}
+
+// GHWModeCtx is GHWMode with cancellation plumbed into the residual and
+// root lower bounds (see TWModeCtx).
+func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
 	solver := setcover.New(h, rng)
 	scratch := bitset.New(h.NumVertices())
 	return Mode{
@@ -75,7 +107,7 @@ func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
 			if g.Remaining() == 0 {
 				return 0
 			}
-			twlb := heur.MinorMinWidth(g, rng)
+			twlb := heur.MinorMinWidthCtx(ctx, g, rng)
 			return setcover.TwKscLowerBound(h, twlb)
 		},
 		FinishCost: func(g *elim.Graph) int {
@@ -90,16 +122,24 @@ func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
 			if g.Remaining() == 0 {
 				return 0
 			}
-			return setcover.TwKscLowerBound(h, heur.LowerBound(g, rng))
+			return setcover.TwKscLowerBound(h, heur.LowerBoundCtx(ctx, g, rng))
 		},
+		// The simplicial branching restriction and the adjacent case of the
+		// PR2 swap argue over clique CARDINALITIES, which cover sizes do not
+		// respect; only the non-adjacent swap (identical χ-sets either way)
+		// is width-preserving for ghw.
+		Reduction: false,
+		Swappable: NonAdjacentSwappable,
 	}
 }
 
-// PR2Swappable implements the interchangeability test of Pruning Rule 2
-// (§4.4.5), evaluated on the graph in which NEITHER v nor w has been
+// PR2Swappable implements the treewidth interchangeability test of Pruning
+// Rule 2 (§4.4.5), evaluated on the graph in which NEITHER v nor w has been
 // eliminated: the orderings "…, v, w, …" and "…, w, v, …" have equal width
 // if v and w are non-adjacent, or if they are adjacent and each has a
-// remaining neighbour that is not a neighbour of the other.
+// remaining neighbour that is not a neighbour of the other. The adjacent
+// case only equates the SIZES of the two elimination cliques, so it is
+// sound for treewidth but not for cover-based widths.
 func PR2Swappable(g *elim.Graph, v, w int) bool {
 	nv, nw := g.Neighbors(v), g.Neighbors(w)
 	if !nv.Contains(w) {
@@ -127,14 +167,24 @@ func PR2Swappable(g *elim.Graph, v, w int) bool {
 	return wPrivate
 }
 
+// NonAdjacentSwappable is the swap test valid for every width measure over
+// elimination orderings: when v and w are non-adjacent, eliminating one
+// adds no fill edge incident to the other, so both orders produce exactly
+// the same two χ-sets and the widths coincide — whatever the per-clique
+// cost (degree, exact cover, fractional cover).
+func NonAdjacentSwappable(g *elim.Graph, v, w int) bool {
+	return !g.Neighbors(v).Contains(w)
+}
+
 // PR2Pruned returns the set of candidate successors w of the elimination of
 // v that Pruning Rule 2 removes: w with w < v whose swap with v is width-
-// preserving. The canonical representative kept is the branch eliminating
-// the smaller-indexed vertex first. Must be called BEFORE eliminating v.
-func PR2Pruned(g *elim.Graph, v int) *bitset.Set {
+// preserving under the mode's Swappable test. The canonical representative
+// kept is the branch eliminating the smaller-indexed vertex first. Must be
+// called BEFORE eliminating v.
+func PR2Pruned(g *elim.Graph, v int, swappable func(*elim.Graph, int, int) bool) *bitset.Set {
 	pruned := bitset.New(g.NumVertices())
 	g.ForEachRemaining(func(w int) {
-		if w < v && PR2Swappable(g, v, w) {
+		if w < v && swappable(g, v, w) {
 			pruned.Add(w)
 		}
 	})
@@ -179,6 +229,12 @@ type Options struct {
 }
 
 // Result reports the outcome of a width search.
+//
+// Searches run under a context return their best incumbent when cancelled
+// (Exact=false). If cancellation struck before any incumbent existed —
+// i.e. during the initial heuristic — Ordering is nil and Width is
+// meaningless; callers must treat a nil Ordering (on a non-empty instance)
+// as "no result".
 type Result struct {
 	// Width is the best width found (an upper bound; exact when Exact).
 	Width int

@@ -1,0 +1,186 @@
+package htd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hypertree/internal/interrupt"
+)
+
+// DefaultPortfolio returns the method set MethodPortfolio races when
+// Options.Portfolio is empty. Slice position is the priority used to break
+// width ties (lower index wins), so the cheap always-finishing heuristic
+// comes first and the exact searches follow.
+func DefaultPortfolio() []Method {
+	return []Method{MethodMinFill, MethodBB, MethodAStar, MethodGA}
+}
+
+// portfolioSeedStride separates the derived seeds of portfolio workers.
+// Worker 0 keeps Options.Seed unchanged, so a single-method portfolio
+// reproduces the plain run of that method bit for bit.
+const portfolioSeedStride = 7919
+
+// portfolioMethods resolves and validates the raced method set.
+func (o Options) portfolioMethods() ([]Method, error) {
+	ms := o.Portfolio
+	if len(ms) == 0 {
+		ms = DefaultPortfolio()
+	}
+	for _, m := range ms {
+		if m == MethodPortfolio {
+			return nil, fmt.Errorf("htd: portfolio cannot contain itself")
+		}
+		if _, err := ParseMethod(m.String()); err != nil {
+			return nil, fmt.Errorf("htd: invalid portfolio entry %v", m)
+		}
+	}
+	return ms, nil
+}
+
+// workerOptions derives the per-worker options: same configuration, but a
+// seed offset per slot so concurrent randomised methods never share a
+// stream (worker 0 keeps the caller's seed).
+func (o Options) workerOptions(i int, m Method) Options {
+	w := o
+	w.Method = m
+	w.Seed = o.Seed + int64(i)*portfolioSeedStride
+	return w
+}
+
+type portfolioOutcome struct {
+	ord Ordering
+	res Result
+	err error
+}
+
+// runPortfolio races run(ctx, i) for every method slot on its own
+// goroutine, with at most jobs running concurrently (jobs ≤ 0 means all at
+// once). The first exact answer cancels the remaining workers; everyone
+// else degrades to its best-so-far incumbent per the Ctx contracts.
+//
+// Winner selection is deterministic: smallest width, ties preferring an
+// Exact result, then the lower slot index. When any exact result lands its
+// width is the true optimum, so no straggler can beat it and the reported
+// width does not depend on scheduling; without exact finishers nothing is
+// cancelled and every worker result is itself deterministic in the seed.
+// The returned LowerBound is the max over workers and Nodes the sum.
+func runPortfolio(ctx context.Context, nslots, jobs int, run func(ctx context.Context, i int) (Ordering, Result, error)) (Ordering, Result, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if jobs <= 0 || jobs > nslots {
+		jobs = nslots
+	}
+	sem := make(chan struct{}, jobs)
+	outcomes := make([]portfolioOutcome, nslots)
+	done := make(chan int, nslots)
+	var wg sync.WaitGroup
+	for i := 0; i < nslots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-raceCtx.Done():
+				// Cancelled while queued behind the jobs cap: report the
+				// context error instead of starting doomed work.
+				outcomes[i] = portfolioOutcome{err: raceCtx.Err()}
+				done <- i
+				return
+			}
+			defer func() { <-sem }()
+			ord, res, err := run(raceCtx, i)
+			outcomes[i] = portfolioOutcome{ord: ord, res: res, err: err}
+			done <- i
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	for i := range done {
+		if out := &outcomes[i]; out.err == nil && out.res.Exact {
+			cancel() // optimum proven — stop the stragglers
+		}
+	}
+
+	// Deterministic selection over the completed slots.
+	best := -1
+	var (
+		lbMax    int
+		nodes    int64
+		firstErr error
+	)
+	for i := range outcomes {
+		out := &outcomes[i]
+		if out.err != nil || out.ord == nil {
+			if firstErr == nil && out.err != nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if out.res.LowerBound > lbMax {
+			lbMax = out.res.LowerBound
+		}
+		nodes += out.res.Nodes
+		if best < 0 || betterOutcome(out, &outcomes[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		if err := interrupt.Cause(ctx); err != nil {
+			return nil, Result{}, err
+		}
+		if firstErr != nil {
+			return nil, Result{}, firstErr
+		}
+		return nil, Result{}, fmt.Errorf("htd: portfolio produced no result")
+	}
+
+	res := outcomes[best].res
+	res.Ordering = outcomes[best].ord
+	res.Nodes = nodes
+	// Every worker bound is a valid lower bound on the true width, and the
+	// winning width is a valid upper bound, so lbMax ≤ res.Width always;
+	// when they meet, optimality is proven even if the winner itself was a
+	// heuristic.
+	if lbMax > res.LowerBound {
+		res.LowerBound = lbMax
+	}
+	if res.LowerBound == res.Width {
+		res.Exact = true
+	}
+	return res.Ordering, res, nil
+}
+
+// betterOutcome reports whether a strictly beats b: smaller width first,
+// then Exact over heuristic. Equal candidates keep the earlier slot.
+func betterOutcome(a, b *portfolioOutcome) bool {
+	if a.res.Width != b.res.Width {
+		return a.res.Width < b.res.Width
+	}
+	return a.res.Exact && !b.res.Exact
+}
+
+// portfolioGHW races the configured methods for a GHW ordering of h.
+func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options) (Ordering, Result, error) {
+	methods, err := opt.portfolioMethods()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return runPortfolio(ctx, len(methods), opt.Jobs, func(ctx context.Context, i int) (Ordering, Result, error) {
+		return ghwOrderingCtx(ctx, h, opt.workerOptions(i, methods[i]))
+	})
+}
+
+// portfolioTreewidth races the configured methods for the treewidth of g.
+func portfolioTreewidth(ctx context.Context, g *Graph, opt Options) (Result, error) {
+	methods, err := opt.portfolioMethods()
+	if err != nil {
+		return Result{}, err
+	}
+	_, res, err := runPortfolio(ctx, len(methods), opt.Jobs, func(ctx context.Context, i int) (Ordering, Result, error) {
+		res, err := treewidthOne(ctx, g, opt.workerOptions(i, methods[i]))
+		return res.Ordering, res, err
+	})
+	return res, err
+}

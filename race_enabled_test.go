@@ -1,0 +1,8 @@
+//go:build race
+
+package htd
+
+// raceEnabled reports whether the race detector instruments this build.
+// Instrumentation slows the search loops roughly an order of magnitude, so
+// wall-clock assertions scale their bounds by it.
+const raceEnabled = true
