@@ -3,18 +3,28 @@
 //
 // Usage:
 //
-//	htd decompose -method bb [-seed N] [-maxnodes N] [-o out.gml] file.hg
+//	htd decompose -method bb [-seed N] [-maxnodes N] [-timeout D] [-v] [-pprof :6060] file.hg
 //	htd bounds file.hg
 //	htd validate file.hg
 //	htd gen -family adder -n 20 > adder_20.hg
-//	htd tw -method astar file.col
+//	htd tw -method portfolio -timeout 5s -v file.col
 //
 // Hypergraph files use the TU-Wien "edge(v1,…)," format; graph files use
 // DIMACS .col. `htd gen -list` shows the instance families.
+//
+// Observability: on decompose and tw, -v streams structured progress
+// (anytime incumbents, method phases, portfolio worker outcomes and a
+// final counter summary) to stderr, and -pprof ADDR serves
+// net/http/pprof plus the live search counters as expvar key "htd_search"
+// on /debug/vars. With -timeout the exit status is 0 whenever a
+// decomposition (or width bound) was produced — the anytime incumbent —
+// and nonzero only when the deadline struck before any incumbent existed;
+// the message says which happened.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -79,6 +89,10 @@ commands:
   gen        generate benchmark instances (-list for families)
   solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
   query      answer a conjunctive query (-q "ans(X):-r(X,Y)") over TSV relations
+
+observability (decompose, tw):
+  -v            stream progress (incumbents, phases, portfolio workers) to stderr
+  -pprof :6060  serve net/http/pprof + expvar search counters (/debug/vars)
 `)
 }
 
@@ -114,6 +128,8 @@ func cmdDecompose(args []string) error {
 	show := fs.Bool("print", false, "print the decomposition tree")
 	dotOut := fs.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 	tdOut := fs.String("td", "", "write the decomposition in PACE .td format to this file")
+	verbose := fs.Bool("v", false, "stream search progress (incumbents, phases, portfolio workers) to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar search counters on this address, e.g. :6060")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("decompose: need exactly one hypergraph file")
@@ -132,10 +148,27 @@ func cmdDecompose(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	of := setupObservability(*verbose, *pprofAddr)
 	start := time.Now()
-	d, err := htd.DecomposeCtx(ctx, h, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs})
+	d, err := htd.DecomposeCtx(ctx, h, htd.Options{
+		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
+		Stats: of.stats, Observer: of.obs,
+	})
 	if err != nil {
+		// Deadline exit semantics: a context error here means no
+		// decomposition was produced at all — only then is the exit
+		// nonzero. A deadline that merely cut a search short still yields
+		// the anytime incumbent below (exit 0, with a note).
+		if isCtxErr(err) {
+			return fmt.Errorf("no decomposition produced before the deadline (%w)", err)
+		}
 		return err
+	}
+	of.summarize(htd.Result{})
+	// Compare wall clock, not ctx.Err(): the searches stop on their own
+	// deadline polls, which can beat the context timer's delivery.
+	if *timeout > 0 && time.Since(start) >= *timeout {
+		fmt.Fprintln(os.Stderr, "htd: deadline expired; reporting the best decomposition found before it")
 	}
 	fmt.Printf("instance: %s (%d vertices, %d hyperedges, acyclic: %v)\n",
 		fs.Arg(0), h.NumVertices(), h.NumEdges(), h.IsAcyclic())
@@ -218,6 +251,8 @@ func cmdTreewidth(args []string) error {
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms or 10s (0 = none); on expiry the best bounds found so far are returned")
 	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
+	verbose := fs.Bool("v", false, "stream search progress (incumbents, phases, portfolio workers) to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar search counters on this address, e.g. :6060")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("tw: need exactly one DIMACS file")
@@ -236,15 +271,41 @@ func cmdTreewidth(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	of := setupObservability(*verbose, *pprofAddr)
 	start := time.Now()
-	res, err := htd.TreewidthCtx(ctx, g, htd.Options{Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs})
+	res, err := htd.TreewidthCtx(ctx, g, htd.Options{
+		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
+		Stats: of.stats, Observer: of.obs,
+	})
 	if err != nil {
+		// Nonzero exit only when the deadline left us with no incumbent at
+		// all; a cut-short search reports its anytime bounds below.
+		if isCtxErr(err) {
+			return fmt.Errorf("no width bounds produced before the deadline (%w)", err)
+		}
 		return err
+	}
+	of.summarize(res)
+	// Wall clock, not ctx.Err(): see cmdDecompose.
+	if *timeout > 0 && !res.Exact && time.Since(start) >= *timeout {
+		fmt.Fprintln(os.Stderr, "htd: deadline expired; reporting the best bounds found before it")
 	}
 	fmt.Printf("instance: %s (%d vertices, %d edges)\n", fs.Arg(0), g.NumVertices(), g.NumEdges())
 	fmt.Printf("method: %s, width: %d, lower bound: %d, exact: %v, nodes: %d, time: %s\n",
 		m, res.Width, res.LowerBound, res.Exact, res.Nodes, time.Since(start).Round(time.Millisecond))
+	if m == htd.MethodPortfolio && res.Winner != "" {
+		line := fmt.Sprintf("winner: %s", res.Winner)
+		if res.LowerBoundBy != "" {
+			line += fmt.Sprintf(", lower bound by: %s", res.LowerBoundBy)
+		}
+		fmt.Println(line)
+	}
 	return nil
+}
+
+// isCtxErr reports whether err is a deadline or cancellation error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func cmdBounds(args []string) error {

@@ -1,0 +1,99 @@
+// Observability wiring for the decompose and tw subcommands: -v streams
+// structured progress to stderr via log/slog, -pprof serves net/http/pprof
+// plus the live search counters over expvar.
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"hypertree"
+	"hypertree/internal/telemetry"
+)
+
+// observeFlags is the result of wiring -v / -pprof: the Stats/Observer
+// pair to attach to htd.Options (nil when both flags are off) and the
+// logger for the final summary (nil without -v).
+type observeFlags struct {
+	stats  *htd.Stats
+	obs    *htd.Observer
+	logger *slog.Logger
+}
+
+// setupObservability starts the optional debug server and builds the
+// progress observer. The server goroutine is intentionally left running
+// for the life of the process so post-run inspection works.
+func setupObservability(verbose bool, pprofAddr string) observeFlags {
+	var of observeFlags
+	if !verbose && pprofAddr == "" {
+		return of
+	}
+	of.stats = new(htd.Stats)
+	if verbose {
+		of.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		of.obs = progressObserver(of.logger)
+	}
+	if pprofAddr != "" {
+		telemetry.PublishExpvar("htd_search", of.stats)
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "htd: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr,
+			"htd: serving pprof on http://%s/debug/pprof/ and search counters on /debug/vars (key htd_search)\n",
+			pprofAddr)
+	}
+	return of
+}
+
+// progressObserver renders telemetry events as slog lines on stderr.
+func progressObserver(logger *slog.Logger) *htd.Observer {
+	return &htd.Observer{
+		OnIncumbent: func(inc htd.Incumbent) {
+			logger.Info("incumbent", "width", inc.Width, "method", inc.Method, "elapsed", inc.Elapsed)
+		},
+		OnPhase: func(p htd.Phase) {
+			logger.Info("phase", "method", p.Method, "event", p.Name, "elapsed", p.Elapsed)
+		},
+		OnPortfolioOutcome: func(o htd.PortfolioOutcome) {
+			if o.Err != "" {
+				logger.Info("worker", "slot", o.Slot, "method", o.Method, "error", o.Err, "elapsed", o.Elapsed)
+				return
+			}
+			logger.Info("worker", "slot", o.Slot, "method", o.Method,
+				"width", o.Width, "lower_bound", o.LowerBound, "exact", o.Exact,
+				"nodes", o.Stats.Nodes, "elapsed", o.Elapsed)
+		},
+	}
+}
+
+// summarize logs the final counter totals and provenance after a run.
+func (of observeFlags) summarize(res htd.Result) {
+	if of.logger == nil {
+		return
+	}
+	snap := of.stats.Snapshot()
+	attrs := []any{
+		"nodes", snap.Nodes,
+		"prune_simplicial", snap.PruneSimplicial,
+		"prune_pr2", snap.PrunePR2,
+		"prune_cover_bound", snap.PruneCoverBound,
+		"prune_lb_cutoff", snap.PruneLBCutoff,
+		"prune_dominance", snap.PruneDominance,
+		"ga_generations", snap.GAGenerations,
+		"ga_evaluations", snap.GAEvaluations,
+		"restarts", snap.Restarts,
+		"heur_steps", snap.HeurSteps,
+	}
+	if res.Winner != "" {
+		attrs = append(attrs, "winner", res.Winner)
+	}
+	if res.LowerBoundBy != "" {
+		attrs = append(attrs, "lower_bound_by", res.LowerBoundBy)
+	}
+	of.logger.Info("search done", attrs...)
+}

@@ -1,19 +1,25 @@
 // Command htdbench regenerates the evaluation tables of the thesis
-// (Tables 5.1–9.2). By default it runs a laptop-scale configuration of
-// every table; -table selects one, -full switches to paper-scale instances
-// and budgets.
+// (Tables 5.1–9.2) and, with -json, runs the machine-readable benchmark
+// harness over the same instance catalog.
 //
 //	htdbench                 # all tables, scaled down
 //	htdbench -table 5.1      # one table
 //	htdbench -table 7.1 -full -runs 10 -seed 3
+//	htdbench -json           # BENCH_portfolio.json: per-(instance, method)
+//	                         # width, bounds, wall time, node counts and the
+//	                         # anytime incumbent curve
+//	htdbench -json -methods bb,astar,portfolio -timeout 5s -o -   # to stdout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"hypertree"
+	"hypertree/internal/bench"
 	"hypertree/internal/exp"
 )
 
@@ -22,7 +28,19 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale instances and budgets (slow)")
 	seed := flag.Int64("seed", 1, "random seed")
 	runs := flag.Int("runs", 0, "repetitions for stochastic algorithms (0 = default)")
+	jsonOut := flag.Bool("json", false, "run the JSON bench harness over the instance catalog instead of rendering tables")
+	out := flag.String("o", "BENCH_portfolio.json", "output path for -json ('-' = stdout)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
+	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runJSON(*full, *seed, *timeout, *methods, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "htdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.Config{Full: *full, Seed: *seed, Runs: *runs}
 	ids := exp.AllTableIDs
@@ -39,4 +57,43 @@ func main() {
 		fmt.Print(t.Render())
 		fmt.Printf("(generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runJSON executes the bench harness and writes the report.
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string) error {
+	var ms []htd.Method
+	for _, name := range strings.Split(methodList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := htd.ParseMethod(name)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+	}
+	rep := bench.Run(bench.Config{
+		Full:    full,
+		Seed:    seed,
+		Timeout: timeout,
+		Methods: ms,
+		Log:     os.Stderr,
+	})
+	if out == "-" {
+		return rep.Write(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", out, len(rep.Records))
+	return nil
 }

@@ -35,6 +35,26 @@ func ExampleDecompose() {
 	// Output: ghw: 2
 }
 
+// ExampleObserver attaches telemetry to a search: an Observer streams
+// phase transitions and anytime incumbent improvements as they happen,
+// and a Stats sink accumulates counters plus the incumbent trace.
+// Attaching either never changes the computed result for a fixed Seed.
+func ExampleObserver() {
+	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x), d(z,w)."))
+	st := new(htd.Stats)
+	obs := &htd.Observer{
+		OnPhase:     func(p htd.Phase) { fmt.Printf("phase: %s %s\n", p.Method, p.Name) },
+		OnIncumbent: func(inc htd.Incumbent) { fmt.Printf("incumbent: width %d by %s\n", inc.Width, inc.Method) },
+	}
+	res, _ := htd.GHW(h, htd.Options{Method: htd.MethodBB, Seed: 1, Stats: st, Observer: obs})
+	fmt.Printf("width %d, exact %v, trace points %d\n", res.Width, res.Exact, len(st.Trace()))
+	// Output:
+	// phase: bb start
+	// incumbent: width 2 by bb
+	// phase: bb done
+	// width 2, exact true, trace points 1
+}
+
 // ExampleGHW shows exact width computation with a proof of optimality.
 func ExampleGHW() {
 	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))

@@ -197,8 +197,24 @@ type Options struct {
 	Portfolio []Method
 	// Jobs caps how many portfolio workers run concurrently (≤ 0 = one per
 	// method). Queued workers that a deadline or an exact answer overtakes
-	// never start.
+	// never start. Jobs=1 runs the methods sequentially in slot order,
+	// which makes the whole portfolio result — witness ordering included —
+	// reproducible for a fixed Seed.
 	Jobs int
+	// Stats, when non-nil, accumulates live telemetry: search counters
+	// (nodes expanded, prunes by rule, GA progress, restarts) and the
+	// anytime incumbent trace. Portfolio runs fold every worker's counters
+	// into it and share its trace. Attaching Stats never changes the
+	// computed decomposition; when both Stats and Observer are nil the
+	// engines pay one nil check per instrumentation point.
+	Stats *Stats
+	// Observer, when non-nil, receives progress callbacks: incumbent
+	// improvements, method phase transitions, and portfolio worker
+	// outcomes. Hooks are invoked synchronously — from portfolio worker
+	// goroutines under MethodPortfolio, so they must be safe for concurrent
+	// use and cheap. Attaching an Observer never changes the computed
+	// decomposition for a fixed Seed.
+	Observer *Observer
 }
 
 func (o Options) gaConfig(n int) ga.Config {
@@ -270,33 +286,50 @@ func GHWCtx(ctx context.Context, h *Hypergraph, opt Options) (Result, error) {
 }
 
 func ghwOrderingCtx(ctx context.Context, h *Hypergraph, opt Options) (order.Ordering, Result, error) {
-	n := h.NumVertices()
-	if n == 0 {
+	if h.NumVertices() == 0 {
 		return nil, Result{Exact: true, Ordering: []int{}}, nil
 	}
+	if opt.Method == MethodPortfolio {
+		return portfolioGHW(ctx, h, opt)
+	}
+	return ghwOne(ctx, h, opt, newScope(opt))
+}
+
+// ghwOne runs a single (non-portfolio) GHW method under ctx, reporting
+// counters, incumbents and phases into sc (nil = telemetry disabled).
+func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope) (order.Ordering, Result, error) {
+	sc.phase("start")
+	defer sc.phase("done")
 	var res Result
 	switch opt.Method {
 	case MethodMinFill:
 		g := h.PrimalGraph()
 		e := elimNew(g)
-		ord, _, err := heur.MinFillCtx(ctx, e, rand.New(rand.NewSource(opt.Seed)))
+		ord, _, err := heur.MinFillCtxStats(ctx, e, rand.New(rand.NewSource(opt.Seed)), sc.engineStats())
 		if err != nil {
 			return nil, Result{}, err
 		}
 		w := order.GHWidth(h, ord, nil, true)
+		if hook := sc.incumbentHook(); hook != nil {
+			hook(w)
+		}
 		res = Result{Width: w, LowerBound: 0, Ordering: ord}
 	case MethodGA:
-		r := ga.GHWCtx(ctx, h, opt.gaConfig(n))
+		cfg := opt.gaConfig(h.NumVertices())
+		cfg.Stats = sc.engineStats()
+		cfg.OnIncumbent = sc.incumbentHook()
+		r := ga.GHWCtx(ctx, h, cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
-		r := ga.SAIGAGHWCtx(ctx, h, opt.saigaConfig())
+		cfg := opt.saigaConfig()
+		cfg.Stats = sc.engineStats()
+		cfg.OnIncumbent = sc.incumbentHook()
+		r := ga.SAIGAGHWCtx(ctx, h, cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
-		res = bb.GHWCtx(ctx, h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+		res = bb.GHWCtx(ctx, h, sc.searchOptions(opt))
 	case MethodAStar:
-		res = astar.GHWCtx(ctx, h, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
-	case MethodPortfolio:
-		return portfolioGHW(ctx, h, opt)
+		res = astar.GHWCtx(ctx, h, sc.searchOptions(opt))
 	default:
 		return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
@@ -307,6 +340,10 @@ func ghwOrderingCtx(ctx context.Context, h *Hypergraph, opt Options) (order.Orde
 			return nil, Result{}, err
 		}
 		return nil, Result{}, fmt.Errorf("htd: method %v produced no ordering", opt.Method)
+	}
+	res.Winner = opt.Method.String()
+	if res.LowerBound > 0 {
+		res.LowerBoundBy = opt.Method.String()
 	}
 	return res.Ordering, res, nil
 }
@@ -325,30 +362,42 @@ func TreewidthCtx(ctx context.Context, g *Graph, opt Options) (Result, error) {
 	if opt.Method == MethodPortfolio {
 		return portfolioTreewidth(ctx, g, opt)
 	}
-	return treewidthOne(ctx, g, opt)
+	return twOne(ctx, g, opt, newScope(opt))
 }
 
-// treewidthOne runs a single (non-portfolio) treewidth method under ctx.
-func treewidthOne(ctx context.Context, g *Graph, opt Options) (Result, error) {
+// twOne runs a single (non-portfolio) treewidth method under ctx,
+// reporting counters, incumbents and phases into sc (nil = disabled).
+func twOne(ctx context.Context, g *Graph, opt Options, sc *scope) (Result, error) {
+	sc.phase("start")
+	defer sc.phase("done")
 	var res Result
 	switch opt.Method {
 	case MethodMinFill:
 		e := elimNew(g)
-		ord, w, err := heur.MinFillCtx(ctx, e, rand.New(rand.NewSource(opt.Seed)))
+		ord, w, err := heur.MinFillCtxStats(ctx, e, rand.New(rand.NewSource(opt.Seed)), sc.engineStats())
 		if err != nil {
 			return Result{}, err
 		}
+		if hook := sc.incumbentHook(); hook != nil {
+			hook(w)
+		}
 		res = Result{Width: w, Ordering: ord}
 	case MethodGA:
-		r := ga.TreewidthCtx(ctx, hypergraph.FromGraph(g), opt.gaConfig(g.NumVertices()))
+		cfg := opt.gaConfig(g.NumVertices())
+		cfg.Stats = sc.engineStats()
+		cfg.OnIncumbent = sc.incumbentHook()
+		r := ga.TreewidthCtx(ctx, hypergraph.FromGraph(g), cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
-		r := ga.SAIGATreewidthCtx(ctx, hypergraph.FromGraph(g), opt.saigaConfig())
+		cfg := opt.saigaConfig()
+		cfg.Stats = sc.engineStats()
+		cfg.OnIncumbent = sc.incumbentHook()
+		r := ga.SAIGATreewidthCtx(ctx, hypergraph.FromGraph(g), cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
-		res = bb.TreewidthCtx(ctx, g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+		res = bb.TreewidthCtx(ctx, g, sc.searchOptions(opt))
 	case MethodAStar:
-		res = astar.TreewidthCtx(ctx, g, search.Options{MaxNodes: opt.MaxNodes, Seed: opt.Seed})
+		res = astar.TreewidthCtx(ctx, g, sc.searchOptions(opt))
 	default:
 		return Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
@@ -357,6 +406,10 @@ func treewidthOne(ctx context.Context, g *Graph, opt Options) (Result, error) {
 			return Result{}, err
 		}
 		return Result{}, fmt.Errorf("htd: method %v produced no ordering", opt.Method)
+	}
+	res.Winner = opt.Method.String()
+	if res.LowerBound > 0 {
+		res.LowerBoundBy = opt.Method.String()
 	}
 	return res, nil
 }

@@ -112,11 +112,12 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 	chk := interrupt.New(ctx, 4)
 
 	rng := rand.New(rand.NewSource(opt.Seed))
-	ubOrder, _, err := heur.MinFillCtx(ctx, g, rng)
+	ubOrder, _, err := heur.MinFillCtxStats(ctx, g, rng, opt.Stats)
 	if err != nil {
 		return search.Result{}
 	}
 	ub := search.OrderCost(g, mode, ubOrder)
+	opt.Incumbent(ub)
 	lb := mode.RootLB(g)
 	if lb >= ub {
 		return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder}
@@ -145,6 +146,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 	for q.Len() > 0 {
 		s := heap.Pop(&q).(*state)
 		nodes++
+		opt.Stats.Node()
 		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
 			return search.Result{
 				Width: ub, LowerBound: min(bestF, ub), Exact: false,
@@ -163,6 +165,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 		}
 		if s.f >= ub {
 			// Remaining open states cannot beat the heuristic solution.
+			opt.Stats.LBCutoff()
 			return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder, Nodes: nodes}
 		}
 
@@ -173,6 +176,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			ordering := prefixOf(s)
 			g.ForEachRemaining(func(v int) { ordering = append(ordering, v) })
 			g.RestoreTo(0)
+			opt.Incumbent(s.g)
 			return search.Result{Width: s.g, LowerBound: s.g, Exact: true, Ordering: ordering, Nodes: nodes}
 		}
 
@@ -193,6 +197,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			step := mode.StepCost(g, v)
 			cg := max(s.g, step)
 			if cg >= ub {
+				opt.Stats.LBCutoff()
 				continue
 			}
 			g.Eliminate(v)
@@ -200,6 +205,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			if dom != nil {
 				key := elimKey(g)
 				if prev, ok := dom[key]; ok && prev <= cg {
+					opt.Stats.Dominance()
 					g.Restore()
 					continue
 				}
@@ -211,6 +217,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			h := mode.ResidualLB(g)
 			cf := max(cg, h, s.f)
 			if cf >= ub {
+				opt.Stats.LBCutoff()
 				g.Restore()
 				continue
 			}
@@ -302,12 +309,14 @@ func rootChildren(g *elim.Graph, mode search.Mode, opt search.Options, lb int) (
 func successors(g *elim.Graph, mode search.Mode, opt search.Options, f int, pr2 *bitset.Set) ([]int, bool) {
 	if !opt.DisableReduction && mode.Reduction {
 		if v, ok := reduce.Find(g, f); ok {
+			opt.Stats.Simplicial()
 			return []int{v}, true
 		}
 	}
 	var out []int
 	g.ForEachRemaining(func(v int) {
 		if pr2 != nil && pr2.Contains(v) {
+			opt.Stats.PR2()
 			return
 		}
 		out = append(out, v)

@@ -93,12 +93,13 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, rng *rand.Rand, o
 	// Initial bounds: min-fill upper bound, combined lower bound. If the
 	// deadline strikes before even the initial heuristic completes there is
 	// no incumbent to report (Ordering nil).
-	initOrder, _, err := heur.MinFillCtx(ctx, g, rng)
+	initOrder, _, err := heur.MinFillCtxStats(ctx, g, rng, opt.Stats)
 	if err != nil {
 		return search.Result{}
 	}
 	s.ub = search.OrderCost(g, mode, initOrder)
 	s.best = append([]int(nil), initOrder...)
+	s.opt.Incumbent(s.ub)
 	lb := mode.RootLB(g)
 	s.rootF = lb
 	s.elimSet = bitset.New(g.NumVertices())
@@ -140,11 +141,13 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		return
 	}
 
+	s.opt.Stats.Node()
 	rem := s.g.Remaining()
 	if rem == 0 {
 		if gc < s.ub {
 			s.ub = gc
 			s.best = append(s.best[:0], s.prefix...)
+			s.opt.Incumbent(s.ub)
 		}
 		return
 	}
@@ -155,8 +158,10 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		s.ub = w
 		s.best = append(s.best[:0], s.prefix...)
 		s.g.ForEachRemaining(func(v int) { s.best = append(s.best, v) })
+		s.opt.Incumbent(s.ub)
 	}
 	if finish <= gc {
+		s.opt.Stats.CoverBound()
 		return // no completion beats gc, which PR1 just recorded
 	}
 
@@ -169,11 +174,13 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		if v, ok := reduce.Find(s.g, f); ok {
 			candidates = []int{v}
 			reduced = true
+			s.opt.Stats.Simplicial()
 		}
 	}
 	if candidates == nil {
 		s.g.ForEachRemaining(func(v int) {
 			if pr2 != nil && pr2.Contains(v) {
+				s.opt.Stats.PR2()
 				return
 			}
 			candidates = append(candidates, v)
@@ -200,6 +207,7 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		step := s.mode.StepCost(s.g, v)
 		cg := max(gc, step)
 		if cg >= s.ub {
+			s.opt.Stats.LBCutoff()
 			continue
 		}
 		s.g.Eliminate(v)
@@ -207,6 +215,7 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		s.elimSet.Add(v)
 
 		if s.domPruned(cg) {
+			s.opt.Stats.Dominance()
 			s.elimSet.Remove(v)
 			s.prefix = s.prefix[:len(s.prefix)-1]
 			s.g.Restore()
@@ -217,6 +226,8 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		cf := max(cg, h, f)
 		if cf < s.ub {
 			s.dfs(cg, cf, childPR2)
+		} else {
+			s.opt.Stats.LBCutoff()
 		}
 
 		s.elimSet.Remove(v)

@@ -1,0 +1,174 @@
+// Package bench is the JSON benchmark harness behind `htdbench -json`:
+// it drives every (instance, method) pair of the exp catalog under a
+// per-run wall-clock budget with full telemetry attached, and renders the
+// outcome — width, bounds, wall time, node counts, per-rule prune
+// counters, and the anytime incumbent curve — as one machine-readable
+// report for regression tracking and plotting.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hypertree"
+	"hypertree/internal/exp"
+)
+
+// CurvePoint is one improvement of the anytime incumbent: the run had a
+// solution of the given width after Ms milliseconds, found by Method.
+type CurvePoint struct {
+	Ms     float64 `json:"ms"`
+	Width  int     `json:"width"`
+	Method string  `json:"method"`
+}
+
+// Record is one (instance, method) benchmark row.
+type Record struct {
+	Instance     string            `json:"instance"`
+	Family       string            `json:"family"` // catalog family: "exact" | "substitute"
+	Kind         string            `json:"kind"`   // "tw" | "ghw"
+	Vertices     int               `json:"vertices"`
+	Edges        int               `json:"edges"`
+	Method       string            `json:"method"`
+	Seed         int64             `json:"seed"`
+	Width        int               `json:"width"`
+	LowerBound   int               `json:"lower_bound"`
+	Exact        bool              `json:"exact"`
+	WallMs       float64           `json:"wall_ms"`
+	Nodes        int64             `json:"nodes"`
+	Winner       string            `json:"winner,omitempty"`
+	LowerBoundBy string            `json:"lower_bound_by,omitempty"`
+	Counters     htd.StatsSnapshot `json:"counters"`
+	Anytime      []CurvePoint      `json:"anytime"`
+	Error        string            `json:"error,omitempty"`
+}
+
+// Report is the top-level document of a BENCH_*.json file.
+type Report struct {
+	GeneratedBy string   `json:"generated_by"`
+	Timeout     string   `json:"timeout"`
+	Seed        int64    `json:"seed"`
+	Full        bool     `json:"full"`
+	Methods     []string `json:"methods"`
+	Records     []Record `json:"records"`
+}
+
+// Config controls one harness run.
+type Config struct {
+	// Full selects the paper-scale catalog instead of the laptop-scale one.
+	Full bool
+	// Seed drives every randomised component.
+	Seed int64
+	// Timeout is the wall-clock budget per (instance, method) run.
+	Timeout time.Duration
+	// Methods lists the methods to run per instance.
+	Methods []htd.Method
+	// Log, when non-nil, receives one progress line per record.
+	Log io.Writer
+}
+
+// Run executes the harness sequentially (one record at a time, so wall
+// times are not distorted by sibling runs beyond the portfolio's own
+// workers) and returns the report.
+func Run(cfg Config) Report {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if len(cfg.Methods) == 0 {
+		cfg.Methods = []htd.Method{htd.MethodPortfolio}
+	}
+	rep := Report{
+		GeneratedBy: "htdbench -json",
+		Timeout:     cfg.Timeout.String(),
+		Seed:        cfg.Seed,
+		Full:        cfg.Full,
+	}
+	for _, m := range cfg.Methods {
+		rep.Methods = append(rep.Methods, m.String())
+	}
+
+	for _, inst := range exp.Graphs(cfg.Full) {
+		g := inst.Build()
+		for _, m := range cfg.Methods {
+			rec := Record{
+				Instance: inst.Name, Family: inst.Family, Kind: "tw",
+				Vertices: g.NumVertices(), Edges: g.NumEdges(),
+				Method: m.String(), Seed: cfg.Seed,
+			}
+			st := new(htd.Stats)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+			start := time.Now()
+			res, err := htd.TreewidthCtx(ctx, g, htd.Options{Method: m, Seed: cfg.Seed, Stats: st})
+			cancel()
+			fill(&rec, res, err, time.Since(start), st)
+			rep.Records = append(rep.Records, rec)
+			progress(cfg.Log, rec)
+		}
+	}
+	for _, inst := range exp.Hypergraphs(cfg.Full) {
+		h := inst.Build()
+		for _, m := range cfg.Methods {
+			rec := Record{
+				Instance: inst.Name, Family: inst.Family, Kind: "ghw",
+				Vertices: h.NumVertices(), Edges: h.NumEdges(),
+				Method: m.String(), Seed: cfg.Seed,
+			}
+			st := new(htd.Stats)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+			start := time.Now()
+			res, err := htd.GHWCtx(ctx, h, htd.Options{Method: m, Seed: cfg.Seed, Stats: st})
+			cancel()
+			fill(&rec, res, err, time.Since(start), st)
+			rep.Records = append(rep.Records, rec)
+			progress(cfg.Log, rec)
+		}
+	}
+	return rep
+}
+
+// fill copies one run's outcome and telemetry into the record.
+func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.Stats) {
+	rec.WallMs = float64(wall.Microseconds()) / 1e3
+	rec.Counters = st.Snapshot()
+	rec.Nodes = rec.Counters.Nodes
+	for _, inc := range st.Trace() {
+		rec.Anytime = append(rec.Anytime, CurvePoint{
+			Ms:     float64(inc.Elapsed.Microseconds()) / 1e3,
+			Width:  inc.Width,
+			Method: inc.Method,
+		})
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		return
+	}
+	rec.Width = res.Width
+	rec.LowerBound = res.LowerBound
+	rec.Exact = res.Exact
+	rec.Winner = res.Winner
+	rec.LowerBoundBy = res.LowerBoundBy
+}
+
+func progress(w io.Writer, rec Record) {
+	if w == nil {
+		return
+	}
+	if rec.Error != "" {
+		fmt.Fprintf(w, "%-12s %-4s %-10s error: %s (%.0fms)\n",
+			rec.Instance, rec.Kind, rec.Method, rec.Error, rec.WallMs)
+		return
+	}
+	fmt.Fprintf(w, "%-12s %-4s %-10s width=%d lb=%d exact=%v nodes=%d curve=%d (%.0fms)\n",
+		rec.Instance, rec.Kind, rec.Method, rec.Width, rec.LowerBound, rec.Exact,
+		rec.Nodes, len(rec.Anytime), rec.WallMs)
+}
+
+// Write renders the report as indented JSON.
+func (r Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -15,6 +15,14 @@ type GraphInstance struct {
 	Family  string // "exact" construction or "substitute"
 }
 
+// Graphs returns the DIMACS-style benchmark suite; full=true adds the
+// paper-scale members. Exported for the JSON bench harness.
+func Graphs(full bool) []GraphInstance { return graphSuite(full) }
+
+// Hypergraphs returns the CSP hypergraph benchmark suite; full=true adds
+// the paper-scale members. Exported for the JSON bench harness.
+func Hypergraphs(full bool) []HGInstance { return hypergraphSuite(full) }
+
 // graphSuite returns the DIMACS-style suite. With full=false the larger
 // members are dropped so exact searches finish within bench budgets.
 func graphSuite(full bool) []GraphInstance {

@@ -10,6 +10,7 @@ import (
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/interrupt"
 	"hypertree/internal/order"
+	"hypertree/internal/telemetry"
 )
 
 // Config holds the control parameters of GA-tw / GA-ghw (Fig. 6.1). The
@@ -33,6 +34,15 @@ type Config struct {
 	// far below the thesis's 4·10⁶ evaluations. 0 = pure random
 	// initialization as in ch. 6.
 	HeuristicSeeds int
+	// Stats, when non-nil, receives live telemetry: fitness evaluations,
+	// generations completed, and heuristic-seed steps. Attaching it never
+	// changes the evolution for a fixed Seed.
+	Stats *telemetry.Stats
+	// OnIncumbent, when non-nil, is invoked with each strict improvement
+	// of the best width found. For real-valued objectives (weighted
+	// triangulation) the value is truncated toward zero. Called
+	// synchronously on the evolution path; must be cheap and non-blocking.
+	OnIncumbent func(width int)
 }
 
 // DefaultConfig returns the parameter set the thesis settled on after the
@@ -104,7 +114,7 @@ func heuristicSeeds(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	g := elim.New(h.PrimalGraph())
 	seeds := make([]order.Ordering, 0, cfg.HeuristicSeeds)
 	for i := 0; i < cfg.HeuristicSeeds; i++ {
-		o, _, err := heur.MinFillCtx(ctx, g, rng)
+		o, _, err := heur.MinFillCtxStats(ctx, g, rng, cfg.Stats)
 		if err != nil {
 			break
 		}
@@ -167,6 +177,7 @@ func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight 
 		fit[i] = weight(pop[i])
 		dirty[i] = false
 		evals++
+		cfg.Stats.GAEval()
 	}
 
 	bestW := math.Inf(1)
@@ -175,6 +186,9 @@ func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight 
 		if fit[i] < bestW {
 			bestW = fit[i]
 			bestO = pop[i].Clone()
+			if cfg.OnIncumbent != nil {
+				cfg.OnIncumbent(int(bestW))
+			}
 		}
 	}
 
@@ -257,6 +271,8 @@ func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight 
 		if cancelled {
 			break
 		}
+
+		cfg.Stats.GAGeneration()
 
 		// Elitism: reinject the global best over the worst individual.
 		if cfg.Elitism {

@@ -9,6 +9,7 @@ import (
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/interrupt"
 	"hypertree/internal/order"
+	"hypertree/internal/telemetry"
 )
 
 // SAIGAConfig configures the self-adaptive island genetic algorithm
@@ -30,6 +31,16 @@ type SAIGAConfig struct {
 	// island). Results are deterministic either way: every island owns its
 	// random generator, and fitness evaluators are cloned per island.
 	Parallel bool
+	// Stats, when non-nil, receives live telemetry: fitness evaluations
+	// and island generations (from island goroutines when Parallel), and
+	// one Restart per epoch boundary (the parameter self-adaptation
+	// step). Attaching it never changes the evolution for a fixed Seed.
+	Stats *telemetry.Stats
+	// OnIncumbent, when non-nil, is invoked from the coordinator with
+	// each strict improvement of the cross-island best width, observed at
+	// initialization and at epoch boundaries. Must be cheap and
+	// non-blocking.
+	OnIncumbent func(width int)
 }
 
 // DefaultSAIGAConfig returns a modest default: 4 islands × 250 individuals.
@@ -188,6 +199,7 @@ func saiga(ctx context.Context, n int, cfg SAIGAConfig, mkEval func(i int) func(
 			}
 			isl.fit[j] = isl.eval(isl.pop[j])
 			isl.evals++
+			cfg.Stats.GAEval()
 			if isl.fit[j] < isl.bestW {
 				isl.bestW = isl.fit[j]
 				isl.bestO = isl.pop[j].Clone()
@@ -200,6 +212,16 @@ func saiga(ctx context.Context, n int, cfg SAIGAConfig, mkEval func(i int) func(
 	}
 
 	history := []int{globalBest(islands)}
+	incumbent := n + 2 // sentinel above any reachable width
+	noteGlobal := func() {
+		if w := globalBest(islands); w < incumbent {
+			incumbent = w
+			if cfg.OnIncumbent != nil && w <= n {
+				cfg.OnIncumbent(w)
+			}
+		}
+	}
+	noteGlobal()
 
 	for epoch := 0; epoch < cfg.Epochs && !cancelled; epoch++ {
 		// Evolve each island with its own parameters — concurrently when
@@ -248,6 +270,8 @@ func saiga(ctx context.Context, n int, cfg SAIGAConfig, mkEval func(i int) func(
 		for i, isl := range islands {
 			isl.par = nextParams[i]
 		}
+		cfg.Stats.Restart()
+		noteGlobal()
 
 		history = append(history, globalBest(islands))
 	}
@@ -339,6 +363,7 @@ func evolveIsland(ctx context.Context, isl *island, cfg SAIGAConfig) {
 				}
 				isl.fit[i] = isl.eval(isl.pop[i])
 				isl.evals++
+				cfg.Stats.GAEval()
 			}
 			if isl.fit[i] < isl.bestW {
 				isl.bestW = isl.fit[i]
@@ -348,6 +373,7 @@ func evolveIsland(ctx context.Context, isl *island, cfg SAIGAConfig) {
 		if cancelled {
 			return
 		}
+		cfg.Stats.GAGeneration()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"hypertree/internal/elim"
 	"hypertree/internal/interrupt"
+	"hypertree/internal/telemetry"
 )
 
 // pick returns a uniformly random element of candidates using rng, or the
@@ -45,17 +46,24 @@ func MinFill(g *elim.Graph, rng *rand.Rand) ([]int, int) {
 // A partial greedy ordering is useless — unlike the lower-bound heuristics
 // there is no anytime value to salvage — so cancellation aborts outright.
 func MinFillCtx(ctx context.Context, g *elim.Graph, rng *rand.Rand) ([]int, int, error) {
-	return greedyOrdering(ctx, g, rng, func(c *elim.Graph, v int) int { return c.FillCount(v) })
+	return MinFillCtxStats(ctx, g, rng, nil)
+}
+
+// MinFillCtxStats is MinFillCtx with telemetry: each greedy elimination
+// step is counted into st (nil = disabled). The counters never influence
+// the ordering produced.
+func MinFillCtxStats(ctx context.Context, g *elim.Graph, rng *rand.Rand, st *telemetry.Stats) ([]int, int, error) {
+	return greedyOrdering(ctx, g, rng, st, func(c *elim.Graph, v int) int { return c.FillCount(v) })
 }
 
 // MinDegree runs the min-degree ordering heuristic: repeatedly eliminate a
 // vertex of minimum current degree.
 func MinDegree(g *elim.Graph, rng *rand.Rand) ([]int, int) {
-	o, w, _ := greedyOrdering(context.Background(), g, rng, func(c *elim.Graph, v int) int { return c.Degree(v) })
+	o, w, _ := greedyOrdering(context.Background(), g, rng, nil, func(c *elim.Graph, v int) int { return c.Degree(v) })
 	return o, w
 }
 
-func greedyOrdering(ctx context.Context, g *elim.Graph, rng *rand.Rand, score func(*elim.Graph, int) int) ([]int, int, error) {
+func greedyOrdering(ctx context.Context, g *elim.Graph, rng *rand.Rand, st *telemetry.Stats, score func(*elim.Graph, int) int) ([]int, int, error) {
 	chk := interrupt.New(ctx, 1)
 	c := g.Clone()
 	ordering := make([]int, 0, c.Remaining())
@@ -83,6 +91,7 @@ func greedyOrdering(ctx context.Context, g *elim.Graph, rng *rand.Rand, score fu
 			width = d
 		}
 		ordering = append(ordering, v)
+		st.HeurStep()
 	}
 	return ordering, width, nil
 }

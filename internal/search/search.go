@@ -29,6 +29,7 @@ import (
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/setcover"
+	"hypertree/internal/telemetry"
 )
 
 // Mode bundles the cost structure of a width measure over elimination
@@ -226,6 +227,24 @@ type Options struct {
 	DisableDominance bool
 	// Seed feeds randomised tie-breaking in bound heuristics.
 	Seed int64
+	// Stats, when non-nil, receives live telemetry counters (nodes
+	// expanded, prunes by rule, heuristic steps). A nil Stats costs one
+	// nil check per instrumentation point and nothing else. Attaching it
+	// never changes the search result.
+	Stats *telemetry.Stats
+	// OnIncumbent, when non-nil, is invoked with each strict improvement
+	// of the incumbent width, including the initial heuristic incumbent.
+	// It is called synchronously on the search path, so it must be cheap
+	// and must not block.
+	OnIncumbent func(width int)
+}
+
+// Incumbent reports a new incumbent width through OnIncumbent, tolerating
+// an unset hook.
+func (o *Options) Incumbent(width int) {
+	if o.OnIncumbent != nil {
+		o.OnIncumbent(width)
+	}
 }
 
 // Result reports the outcome of a width search.
@@ -246,4 +265,15 @@ type Result struct {
 	Ordering []int
 	// Nodes is the number of search-tree nodes expanded.
 	Nodes int64
+	// Winner names the method that produced Ordering. Single-method runs
+	// report their own method; portfolio runs report the winning worker's.
+	Winner string
+	// LowerBoundBy names the method that proved LowerBound. In a
+	// portfolio run this may differ from Winner: a losing exact search's
+	// bound often outlives its ordering.
+	LowerBoundBy string
+	// Workers holds the per-worker outcomes of a portfolio run in slot
+	// order (nil for single-method runs): method, width, bounds, wall
+	// time, and — when telemetry is attached — the worker's counters.
+	Workers []telemetry.Outcome
 }

@@ -1,0 +1,334 @@
+// Package telemetry is the zero-dependency instrumentation layer of the
+// decomposition engines: per-run counters in the spirit of the
+// Gottlob–Samer det-k-decomp evaluation (which reports subproblem and
+// branch counts), an anytime incumbent trace for width-over-time curves,
+// and an Observer hook bundle for live progress reporting.
+//
+// Everything is designed so that a DISABLED instrumentation point costs a
+// single nil check: all Stats counter methods and all Observer emit
+// helpers have nil-receiver fast paths, so engines call them
+// unconditionally on whatever pointer their options carry. Enabled
+// counters are atomic and the trace is mutex-protected, so one Stats may
+// be shared by the concurrent workers of a portfolio run.
+//
+// Telemetry never feeds back into search decisions: attaching a Stats or
+// an Observer must not change any engine's result for a fixed seed.
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates the counters of one decomposition run. The zero value
+// is ready to use; a nil *Stats discards every update at the cost of one
+// nil check per instrumentation point. All methods are safe for concurrent
+// use, so a single Stats can aggregate across portfolio workers.
+type Stats struct {
+	nodes           atomic.Int64 // search-tree nodes expanded (BB, A*)
+	pruneSimplicial atomic.Int64 // branchings forced by the reduction rule
+	prunePR2        atomic.Int64 // candidates removed by Pruning Rule 2
+	pruneCoverBound atomic.Int64 // subtrees closed by the PR1 finish/cover bound
+	pruneLBCutoff   atomic.Int64 // branches cut by f/g ≥ incumbent
+	pruneDominance  atomic.Int64 // revisits cut by the eliminated-set cache
+	gaGenerations   atomic.Int64 // GA / island generations completed
+	gaEvaluations   atomic.Int64 // GA fitness evaluations
+	restarts        atomic.Int64 // SAIGA epoch boundaries (parameter re-orientation)
+	heurSteps       atomic.Int64 // greedy-ordering elimination steps (min-fill)
+
+	mu    sync.Mutex
+	t0    time.Time
+	trace []Incumbent
+}
+
+// Start pins the clock the incumbent trace measures elapsed times against.
+// It is idempotent: only the first call (or the first RecordIncumbent,
+// whichever comes earlier) sets the origin. Safe on a nil receiver.
+func (s *Stats) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.t0.IsZero() {
+		s.t0 = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Elapsed returns the time since Start (zero before Start on a nil or
+// unstarted Stats).
+func (s *Stats) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	t0 := s.t0
+	s.mu.Unlock()
+	if t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
+}
+
+// Counter increments; each is a single nil check when telemetry is off.
+
+// Node counts one expanded search-tree node.
+func (s *Stats) Node() {
+	if s != nil {
+		s.nodes.Add(1)
+	}
+}
+
+// Simplicial counts one branching forced to a (strongly almost) simplicial
+// vertex by the reduction rule.
+func (s *Stats) Simplicial() {
+	if s != nil {
+		s.pruneSimplicial.Add(1)
+	}
+}
+
+// PR2 counts one candidate successor removed by Pruning Rule 2.
+func (s *Stats) PR2() {
+	if s != nil {
+		s.prunePR2.Add(1)
+	}
+}
+
+// CoverBound counts one subtree closed by the PR1 finish-now bound (the
+// greedy-cover bound in ghw mode).
+func (s *Stats) CoverBound() {
+	if s != nil {
+		s.pruneCoverBound.Add(1)
+	}
+}
+
+// LBCutoff counts one branch cut because its bound reached the incumbent.
+func (s *Stats) LBCutoff() {
+	if s != nil {
+		s.pruneLBCutoff.Add(1)
+	}
+}
+
+// Dominance counts one revisit cut by the eliminated-set dominance cache.
+func (s *Stats) Dominance() {
+	if s != nil {
+		s.pruneDominance.Add(1)
+	}
+}
+
+// GAGeneration counts one completed GA (or island) generation.
+func (s *Stats) GAGeneration() {
+	if s != nil {
+		s.gaGenerations.Add(1)
+	}
+}
+
+// GAEval counts one fitness evaluation.
+func (s *Stats) GAEval() {
+	if s != nil {
+		s.gaEvaluations.Add(1)
+	}
+}
+
+// Restart counts one SAIGA epoch boundary (parameter self-adaptation).
+func (s *Stats) Restart() {
+	if s != nil {
+		s.restarts.Add(1)
+	}
+}
+
+// HeurStep counts one greedy-ordering elimination step.
+func (s *Stats) HeurStep() {
+	if s != nil {
+		s.heurSteps.Add(1)
+	}
+}
+
+// Snapshot is a plain-integer copy of the counters, suitable for JSON
+// encoding and expvar export.
+type Snapshot struct {
+	Nodes           int64 `json:"nodes"`
+	PruneSimplicial int64 `json:"prune_simplicial"`
+	PrunePR2        int64 `json:"prune_pr2"`
+	PruneCoverBound int64 `json:"prune_cover_bound"`
+	PruneLBCutoff   int64 `json:"prune_lb_cutoff"`
+	PruneDominance  int64 `json:"prune_dominance"`
+	GAGenerations   int64 `json:"ga_generations"`
+	GAEvaluations   int64 `json:"ga_evaluations"`
+	Restarts        int64 `json:"restarts"`
+	HeurSteps       int64 `json:"heur_steps"`
+}
+
+// Snapshot reads the counters atomically (individually, not as a group).
+// Safe on a nil receiver, which yields the zero Snapshot.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Nodes:           s.nodes.Load(),
+		PruneSimplicial: s.pruneSimplicial.Load(),
+		PrunePR2:        s.prunePR2.Load(),
+		PruneCoverBound: s.pruneCoverBound.Load(),
+		PruneLBCutoff:   s.pruneLBCutoff.Load(),
+		PruneDominance:  s.pruneDominance.Load(),
+		GAGenerations:   s.gaGenerations.Load(),
+		GAEvaluations:   s.gaEvaluations.Load(),
+		Restarts:        s.restarts.Load(),
+		HeurSteps:       s.heurSteps.Load(),
+	}
+}
+
+// Add returns the component-wise sum of two snapshots.
+func (a Snapshot) Add(b Snapshot) Snapshot {
+	return Snapshot{
+		Nodes:           a.Nodes + b.Nodes,
+		PruneSimplicial: a.PruneSimplicial + b.PruneSimplicial,
+		PrunePR2:        a.PrunePR2 + b.PrunePR2,
+		PruneCoverBound: a.PruneCoverBound + b.PruneCoverBound,
+		PruneLBCutoff:   a.PruneLBCutoff + b.PruneLBCutoff,
+		PruneDominance:  a.PruneDominance + b.PruneDominance,
+		GAGenerations:   a.GAGenerations + b.GAGenerations,
+		GAEvaluations:   a.GAEvaluations + b.GAEvaluations,
+		Restarts:        a.Restarts + b.Restarts,
+		HeurSteps:       a.HeurSteps + b.HeurSteps,
+	}
+}
+
+// AddSnapshot folds a snapshot (typically a finished portfolio worker's
+// counters) into s. Safe on a nil receiver.
+func (s *Stats) AddSnapshot(b Snapshot) {
+	if s == nil {
+		return
+	}
+	s.nodes.Add(b.Nodes)
+	s.pruneSimplicial.Add(b.PruneSimplicial)
+	s.prunePR2.Add(b.PrunePR2)
+	s.pruneCoverBound.Add(b.PruneCoverBound)
+	s.pruneLBCutoff.Add(b.PruneLBCutoff)
+	s.pruneDominance.Add(b.PruneDominance)
+	s.gaGenerations.Add(b.GAGenerations)
+	s.gaEvaluations.Add(b.GAEvaluations)
+	s.restarts.Add(b.Restarts)
+	s.heurSteps.Add(b.HeurSteps)
+}
+
+// Incumbent is one point of the anytime trace: at Elapsed since the run
+// started, Method improved the best known width to Width.
+type Incumbent struct {
+	Elapsed time.Duration `json:"elapsed"`
+	Width   int           `json:"width"`
+	Method  string        `json:"method"`
+}
+
+// RecordIncumbent appends a point to the anytime trace if width strictly
+// improves on the last recorded point (the trace is monotone decreasing by
+// construction, whatever order concurrent workers report in). It returns
+// the recorded point and whether it was recorded. Safe on a nil receiver.
+func (s *Stats) RecordIncumbent(width int, method string) (Incumbent, bool) {
+	if s == nil {
+		return Incumbent{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.t0.IsZero() {
+		s.t0 = time.Now()
+	}
+	if n := len(s.trace); n > 0 && width >= s.trace[n-1].Width {
+		return Incumbent{}, false
+	}
+	inc := Incumbent{Elapsed: time.Since(s.t0), Width: width, Method: method}
+	s.trace = append(s.trace, inc)
+	return inc, true
+}
+
+// Trace returns a copy of the anytime incumbent trace, oldest first. Safe
+// on a nil receiver.
+func (s *Stats) Trace() []Incumbent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Incumbent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// Phase marks a coarse stage transition of a run: a method starting or
+// finishing, at Elapsed since the run began.
+type Phase struct {
+	Method  string        `json:"method"`
+	Name    string        `json:"name"` // "start" | "done"
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Outcome reports one finished portfolio worker: its slot, method, result
+// summary, wall time and counters. Err is non-empty when the worker
+// produced no result (e.g. cancelled before its first incumbent).
+type Outcome struct {
+	Slot       int           `json:"slot"`
+	Method     string        `json:"method"`
+	Width      int           `json:"width"`
+	LowerBound int           `json:"lower_bound"`
+	Exact      bool          `json:"exact"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Err        string        `json:"error,omitempty"`
+	Stats      Snapshot      `json:"stats"`
+}
+
+// Observer bundles the progress hooks of a run. Any field may be nil; a
+// nil *Observer disables everything at the cost of one nil check per
+// event. Hooks may be invoked concurrently from portfolio worker
+// goroutines, so they must be safe for concurrent use, and they must not
+// block: the engines call them synchronously on their search paths.
+type Observer struct {
+	// OnIncumbent fires on each strict improvement of the best width,
+	// including the initial heuristic incumbent.
+	OnIncumbent func(Incumbent)
+	// OnPhase fires when a method starts and finishes.
+	OnPhase func(Phase)
+	// OnPortfolioOutcome fires once per portfolio worker as it completes,
+	// in completion order (which depends on scheduling).
+	OnPortfolioOutcome func(Outcome)
+}
+
+// Incumbent emits an incumbent event; nil-safe on observer and hook.
+func (o *Observer) Incumbent(e Incumbent) {
+	if o != nil && o.OnIncumbent != nil {
+		o.OnIncumbent(e)
+	}
+}
+
+// Phase emits a phase event; nil-safe on observer and hook.
+func (o *Observer) Phase(p Phase) {
+	if o != nil && o.OnPhase != nil {
+		o.OnPhase(p)
+	}
+}
+
+// PortfolioOutcome emits a worker outcome event; nil-safe.
+func (o *Observer) PortfolioOutcome(out Outcome) {
+	if o != nil && o.OnPortfolioOutcome != nil {
+		o.OnPortfolioOutcome(out)
+	}
+}
+
+// PublishExpvar exports s under the given expvar name as a JSON object
+// with the live counters and the anytime trace, for scraping via
+// /debug/vars next to net/http/pprof. Publishing the same name twice is a
+// no-op (expvar itself panics on duplicates), so a long-lived process can
+// call it once per run name.
+func PublishExpvar(name string, s *Stats) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return struct {
+			Counters Snapshot    `json:"counters"`
+			Trace    []Incumbent `json:"trace"`
+		}{s.Snapshot(), s.Trace()}
+	}))
+}

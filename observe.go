@@ -1,0 +1,136 @@
+// Observation plumbing: how Options.Stats / Options.Observer reach the
+// engines. A scope bundles the per-run state — the counter sink the
+// engines write into, the shared trace/clock holder, and the observer —
+// and a nil *scope is the fully-disabled fast path: every method below is
+// nil-safe, so the engines receive nil sinks and nil hooks and pay one
+// nil check per instrumentation point.
+//
+// In a portfolio run each worker gets a scope of its own (for per-worker
+// counters and method attribution) that shares the parent's trace, clock
+// and observer, so the anytime incumbent trace stays monotone across
+// concurrently racing methods.
+package htd
+
+import (
+	"hypertree/internal/search"
+	"hypertree/internal/telemetry"
+)
+
+// Telemetry types, re-exported from internal/telemetry.
+type (
+	// Stats accumulates live telemetry counters and the anytime incumbent
+	// trace of a run; attach one via Options.Stats. The zero value is
+	// ready to use and safe for concurrent portfolio workers.
+	Stats = telemetry.Stats
+	// StatsSnapshot is a plain-integer copy of the counters (JSON-ready).
+	StatsSnapshot = telemetry.Snapshot
+	// Incumbent is one point of the anytime trace: elapsed, width, method.
+	Incumbent = telemetry.Incumbent
+	// Phase marks a method starting or finishing.
+	Phase = telemetry.Phase
+	// PortfolioOutcome reports one finished portfolio worker.
+	PortfolioOutcome = telemetry.Outcome
+	// Observer bundles progress hooks; attach one via Options.Observer.
+	// Hooks may fire concurrently from portfolio worker goroutines.
+	Observer = telemetry.Observer
+)
+
+// scope is the observation state of one run or one portfolio worker.
+type scope struct {
+	stats  *telemetry.Stats // engine counter sink (per worker in a portfolio)
+	root   *telemetry.Stats // trace + clock holder, shared across workers
+	obs    *telemetry.Observer
+	method Method
+}
+
+// newScope derives the run's observation scope from the options, or nil
+// when telemetry is fully disabled. Observer-only runs get a private Stats
+// so incumbent events still share one clock and one monotone trace.
+func newScope(opt Options) *scope {
+	if opt.Stats == nil && opt.Observer == nil {
+		return nil
+	}
+	st := opt.Stats
+	if st == nil {
+		st = new(telemetry.Stats)
+	}
+	st.Start()
+	return &scope{stats: st, root: st, obs: opt.Observer, method: opt.Method}
+}
+
+// worker derives the scope of portfolio slot i running method m: fresh
+// counters, shared trace/clock/observer.
+func (sc *scope) worker(i int, m Method) *scope {
+	if sc == nil {
+		return nil
+	}
+	return &scope{stats: new(telemetry.Stats), root: sc.root, obs: sc.obs, method: m}
+}
+
+// engineStats returns the counter sink to hand to an engine (nil when
+// disabled).
+func (sc *scope) engineStats() *telemetry.Stats {
+	if sc == nil {
+		return nil
+	}
+	return sc.stats
+}
+
+// incumbentHook returns the engine-level incumbent callback: it records
+// the improvement on the shared monotone trace and forwards the recorded
+// point to the observer. Returns nil when disabled, so engines skip the
+// call entirely.
+func (sc *scope) incumbentHook() func(width int) {
+	if sc == nil {
+		return nil
+	}
+	method := sc.method.String()
+	return func(w int) {
+		if inc, ok := sc.root.RecordIncumbent(w, method); ok {
+			sc.obs.Incumbent(inc)
+		}
+	}
+}
+
+// phase emits a phase event for this scope's method.
+func (sc *scope) phase(name string) {
+	if sc == nil {
+		return
+	}
+	sc.obs.Phase(telemetry.Phase{Method: sc.method.String(), Name: name, Elapsed: sc.root.Elapsed()})
+}
+
+// outcome emits a portfolio worker outcome event.
+func (sc *scope) outcome(out telemetry.Outcome) {
+	if sc == nil {
+		return
+	}
+	sc.obs.PortfolioOutcome(out)
+}
+
+// snapshot reads this scope's counters (zero when disabled).
+func (sc *scope) snapshot() telemetry.Snapshot {
+	if sc == nil {
+		return telemetry.Snapshot{}
+	}
+	return sc.stats.Snapshot()
+}
+
+// absorb folds a finished worker's counters into this (parent) scope.
+func (sc *scope) absorb(b telemetry.Snapshot) {
+	if sc == nil {
+		return
+	}
+	sc.stats.AddSnapshot(b)
+}
+
+// searchOptions builds the engine-level search options with this scope's
+// telemetry attached.
+func (sc *scope) searchOptions(opt Options) search.Options {
+	return search.Options{
+		MaxNodes:    opt.MaxNodes,
+		Seed:        opt.Seed,
+		Stats:       sc.engineStats(),
+		OnIncumbent: sc.incumbentHook(),
+	}
+}

@@ -1,0 +1,60 @@
+// Benchmarks pinning the cost of the telemetry layer: BB-tw over a
+// DIMACS instance with telemetry disabled (the nil fast path — one nil
+// check per instrumentation point) versus fully attached. The acceptance
+// bar is ≤2% overhead for the disabled case relative to the pre-telemetry
+// engine; compare the two benchmarks to see the attached cost too.
+//
+//	go test -bench BenchmarkBBTreewidth -benchtime 5x .
+package htd
+
+import (
+	"bytes"
+	"testing"
+
+	"hypertree/internal/gen"
+)
+
+// benchDIMACSGraph round-trips queen6_6 through WriteDIMACS/ParseDIMACS
+// so the benchmark input is literally a DIMACS instance.
+func benchDIMACSGraph(b *testing.B) *Graph {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, gen.Queen(6)); err != nil {
+		b.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchBBOpts is a fixed BB-tw workload: the node budget makes every
+// iteration expand the same search tree prefix regardless of wall clock.
+func benchBBOpts() Options {
+	return Options{Method: MethodBB, Seed: 1, MaxNodes: 10000}
+}
+
+func BenchmarkBBTreewidthTelemetryOff(b *testing.B) {
+	g := benchDIMACSGraph(b)
+	opt := benchBBOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Treewidth(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBBTreewidthTelemetryOn(b *testing.B) {
+	g := benchDIMACSGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := benchBBOpts()
+		opt.Stats = new(Stats)
+		opt.Observer = &Observer{OnIncumbent: func(Incumbent) {}}
+		if _, err := Treewidth(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"hypertree/internal/interrupt"
+	"hypertree/internal/telemetry"
 )
 
 // DefaultPortfolio returns the method set MethodPortfolio races when
@@ -49,12 +51,14 @@ func (o Options) workerOptions(i int, m Method) Options {
 }
 
 type portfolioOutcome struct {
-	ord Ordering
-	res Result
-	err error
+	ord     Ordering
+	res     Result
+	err     error
+	elapsed time.Duration
+	attr    telemetry.Outcome
 }
 
-// runPortfolio races run(ctx, i) for every method slot on its own
+// runPortfolio races run(ctx, i, scope_i) for every method slot on its own
 // goroutine, with at most jobs running concurrently (jobs ≤ 0 means all at
 // once). The first exact answer cancels the remaining workers; everyone
 // else degrades to its best-so-far incumbent per the Ctx contracts.
@@ -65,48 +69,84 @@ type portfolioOutcome struct {
 // width does not depend on scheduling; without exact finishers nothing is
 // cancelled and every worker result is itself deterministic in the seed.
 // The returned LowerBound is the max over workers and Nodes the sum.
-func runPortfolio(ctx context.Context, nslots, jobs int, run func(ctx context.Context, i int) (Ordering, Result, error)) (Ordering, Result, error) {
+//
+// Each worker gets a scope of its own so the result can attribute nodes,
+// prunes and wall time per method (Result.Workers); sc receives one
+// OnPortfolioOutcome event per slot in completion order, and every
+// worker's counters are folded into the parent Stats.
+func runPortfolio(ctx context.Context, methods []Method, jobs int, sc *scope, run func(ctx context.Context, i int, ws *scope) (Ordering, Result, error)) (Ordering, Result, error) {
+	nslots := len(methods)
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	if jobs <= 0 || jobs > nslots {
 		jobs = nslots
 	}
-	sem := make(chan struct{}, jobs)
 	outcomes := make([]portfolioOutcome, nslots)
+	scopes := make([]*scope, nslots)
+	for i, m := range methods {
+		scopes[i] = sc.worker(i, m)
+	}
+	// A jobs-sized pool drains the slots in index order, so Jobs=1 runs the
+	// methods strictly sequentially — which makes the entire result,
+	// ordering included, reproducible for a fixed Seed (racing workers are
+	// only width-deterministic; see below).
+	slots := make(chan int, nslots)
+	for i := 0; i < nslots; i++ {
+		slots <- i
+	}
+	close(slots)
 	done := make(chan int, nslots)
 	var wg sync.WaitGroup
-	for i := 0; i < nslots; i++ {
+	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-raceCtx.Done():
-				// Cancelled while queued behind the jobs cap: report the
-				// context error instead of starting doomed work.
-				outcomes[i] = portfolioOutcome{err: raceCtx.Err()}
+			for i := range slots {
+				if err := raceCtx.Err(); err != nil {
+					// Cancelled while queued behind the jobs cap: report the
+					// context error instead of starting doomed work.
+					outcomes[i] = portfolioOutcome{err: err}
+					done <- i
+					continue
+				}
+				start := time.Now()
+				ord, res, err := run(raceCtx, i, scopes[i])
+				outcomes[i] = portfolioOutcome{ord: ord, res: res, err: err, elapsed: time.Since(start)}
 				done <- i
-				return
 			}
-			defer func() { <-sem }()
-			ord, res, err := run(raceCtx, i)
-			outcomes[i] = portfolioOutcome{ord: ord, res: res, err: err}
-			done <- i
-		}(i)
+		}()
 	}
 	go func() { wg.Wait(); close(done) }()
 
 	for i := range done {
-		if out := &outcomes[i]; out.err == nil && out.res.Exact {
+		out := &outcomes[i]
+		if out.err == nil && out.res.Exact {
 			cancel() // optimum proven — stop the stragglers
 		}
+		// Attribution, built in completion order: the observer sees each
+		// worker as it finishes, the result keeps all of them per slot.
+		attr := telemetry.Outcome{
+			Slot:    i,
+			Method:  methods[i].String(),
+			Elapsed: out.elapsed,
+			Stats:   scopes[i].snapshot(),
+		}
+		if out.err != nil {
+			attr.Err = out.err.Error()
+		} else {
+			attr.Width = out.res.Width
+			attr.LowerBound = out.res.LowerBound
+			attr.Exact = out.res.Exact
+		}
+		out.attr = attr
+		sc.outcome(attr)
+		sc.absorb(attr.Stats)
 	}
 
 	// Deterministic selection over the completed slots.
 	best := -1
 	var (
-		lbMax    int
 		nodes    int64
 		firstErr error
 	)
@@ -117,9 +157,6 @@ func runPortfolio(ctx context.Context, nslots, jobs int, run func(ctx context.Co
 				firstErr = out.err
 			}
 			continue
-		}
-		if out.res.LowerBound > lbMax {
-			lbMax = out.res.LowerBound
 		}
 		nodes += out.res.Nodes
 		if best < 0 || betterOutcome(out, &outcomes[best]) {
@@ -139,16 +176,41 @@ func runPortfolio(ctx context.Context, nslots, jobs int, run func(ctx context.Co
 	res := outcomes[best].res
 	res.Ordering = outcomes[best].ord
 	res.Nodes = nodes
+	res.Winner = methods[best].String()
+
 	// Every worker bound is a valid lower bound on the true width, and the
-	// winning width is a valid upper bound, so lbMax ≤ res.Width always;
-	// when they meet, optimality is proven even if the winner itself was a
-	// heuristic.
-	if lbMax > res.LowerBound {
-		res.LowerBound = lbMax
+	// winning width is a valid upper bound, so the max worker bound never
+	// exceeds res.Width; when they meet, optimality is proven even if the
+	// winner itself was a heuristic. LowerBoundBy names the method whose
+	// bound survived — a losing worker's proof is still a proof (ties keep
+	// the winner, then the earlier slot).
+	lbBy := best
+	for i := range outcomes {
+		out := &outcomes[i]
+		if out.err != nil || out.ord == nil {
+			continue
+		}
+		if out.res.LowerBound > outcomes[lbBy].res.LowerBound {
+			lbBy = i
+		}
+	}
+	if lb := outcomes[lbBy].res.LowerBound; lb > res.LowerBound {
+		res.LowerBound = lb
+	}
+	if res.LowerBound > 0 {
+		res.LowerBoundBy = methods[lbBy].String()
+	} else {
+		res.LowerBoundBy = ""
 	}
 	if res.LowerBound == res.Width {
 		res.Exact = true
 	}
+
+	workers := make([]telemetry.Outcome, nslots)
+	for i := range outcomes {
+		workers[i] = outcomes[i].attr
+	}
+	res.Workers = workers
 	return res.Ordering, res, nil
 }
 
@@ -167,8 +229,11 @@ func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options) (Ordering, Re
 	if err != nil {
 		return nil, Result{}, err
 	}
-	return runPortfolio(ctx, len(methods), opt.Jobs, func(ctx context.Context, i int) (Ordering, Result, error) {
-		return ghwOrderingCtx(ctx, h, opt.workerOptions(i, methods[i]))
+	sc := newScope(opt)
+	sc.phase("start")
+	defer sc.phase("done")
+	return runPortfolio(ctx, methods, opt.Jobs, sc, func(ctx context.Context, i int, ws *scope) (Ordering, Result, error) {
+		return ghwOne(ctx, h, opt.workerOptions(i, methods[i]), ws)
 	})
 }
 
@@ -178,8 +243,11 @@ func portfolioTreewidth(ctx context.Context, g *Graph, opt Options) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	_, res, err := runPortfolio(ctx, len(methods), opt.Jobs, func(ctx context.Context, i int) (Ordering, Result, error) {
-		res, err := treewidthOne(ctx, g, opt.workerOptions(i, methods[i]))
+	sc := newScope(opt)
+	sc.phase("start")
+	defer sc.phase("done")
+	_, res, err := runPortfolio(ctx, methods, opt.Jobs, sc, func(ctx context.Context, i int, ws *scope) (Ordering, Result, error) {
+		res, err := twOne(ctx, g, opt.workerOptions(i, methods[i]), ws)
 		return res.Ordering, res, err
 	})
 	return res, err
