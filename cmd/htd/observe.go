@@ -88,6 +88,9 @@ func (of observeFlags) summarize(res htd.Result) {
 		"ga_evaluations", snap.GAEvaluations,
 		"restarts", snap.Restarts,
 		"heur_steps", snap.HeurSteps,
+		"cover_hits", snap.CoverHits,
+		"cover_misses", snap.CoverMisses,
+		"cover_evictions", snap.CoverEvictions,
 	}
 	if res.Winner != "" {
 		attrs = append(attrs, "winner", res.Winner)

@@ -32,10 +32,11 @@ func main() {
 	out := flag.String("o", "BENCH_portfolio.json", "output path for -json ('-' = stdout)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
 	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio")
+	noCoverCache := flag.Bool("nocovercache", false, "disable the shared cover-oracle cache in GHW runs (for measuring cache effectiveness)")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runJSON(*full, *seed, *timeout, *methods, *out); err != nil {
+		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache); err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
 			os.Exit(1)
 		}
@@ -60,7 +61,7 @@ func main() {
 }
 
 // runJSON executes the bench harness and writes the report.
-func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string) error {
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool) error {
 	var ms []htd.Method
 	for _, name := range strings.Split(methodList, ",") {
 		name = strings.TrimSpace(name)
@@ -74,11 +75,12 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 		ms = append(ms, m)
 	}
 	rep := bench.Run(bench.Config{
-		Full:    full,
-		Seed:    seed,
-		Timeout: timeout,
-		Methods: ms,
-		Log:     os.Stderr,
+		Full:              full,
+		Seed:              seed,
+		Timeout:           timeout,
+		Methods:           ms,
+		DisableCoverCache: noCoverCache,
+		Log:               os.Stderr,
 	})
 	if out == "-" {
 		return rep.Write(os.Stdout)

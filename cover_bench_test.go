@@ -1,0 +1,48 @@
+// Benchmarks pinning the payoff of the shared cover-oracle layer: BB-ghw
+// over a fixed-budget catalog instance with the memo table enabled versus
+// disabled. The search solves an exact set cover per candidate step and a
+// greedy cover per PR1 check; the same cliques recur across the tree, so
+// the cached run should spend substantially less wall time and allocate
+// far less than the uncached one.
+//
+//	go test -bench BenchmarkGHWCoverCache -benchmem .
+package htd
+
+import (
+	"testing"
+
+	"hypertree/internal/gen"
+)
+
+// benchGHWOpts is a fixed BB-ghw workload: a node budget makes every
+// iteration expand the same search-tree prefix, so the cache toggle is
+// the only variable.
+func benchGHWOpts(disableCache bool) Options {
+	return Options{
+		Method:            MethodBB,
+		Seed:              1,
+		MaxNodes:          3000,
+		DisableCoverCache: disableCache,
+	}
+}
+
+func benchGHWInstance() *Hypergraph { return gen.Grid2DHypergraph(6, 6) }
+
+func runGHWBench(b *testing.B, disableCache bool) {
+	h := benchGHWInstance()
+	opt := benchGHWOpts(disableCache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := GHW(h, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ordering == nil {
+			b.Fatal("no ordering")
+		}
+	}
+}
+
+func BenchmarkGHWCoverCacheOn(b *testing.B)  { runGHWBench(b, false) }
+func BenchmarkGHWCoverCacheOff(b *testing.B) { runGHWBench(b, true) }

@@ -44,6 +44,7 @@ import (
 	"hypertree/internal/astar"
 	"hypertree/internal/bb"
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/cq"
 	"hypertree/internal/csp"
 	"hypertree/internal/decomp"
@@ -201,6 +202,14 @@ type Options struct {
 	// which makes the whole portfolio result — witness ordering included —
 	// reproducible for a fixed Seed.
 	Jobs int
+	// DisableCoverCache turns off the shared cover-oracle memo table the
+	// GHW engines use (min-fill width evaluation, BB-ghw, A*-ghw, the final
+	// λ-materialization, and every portfolio worker, which otherwise share
+	// one table). The cache is invisible in results — everything it
+	// memoizes is computed deterministically, so cached and uncached runs
+	// return identical answers — making this knob useful only for
+	// benchmarking cache effectiveness and bounding memory.
+	DisableCoverCache bool
 	// Stats, when non-nil, accumulates live telemetry: search counters
 	// (nodes expanded, prunes by rule, GA progress, restarts) and the
 	// anytime incumbent trace. Portfolio runs fold every worker's counters
@@ -261,11 +270,14 @@ func Decompose(h *Hypergraph, opt Options) (*Decomposition, error) {
 // before any incumbent exists does DecomposeCtx return the context error.
 // See the "Timeouts and the portfolio method" section of the README.
 func DecomposeCtx(ctx context.Context, h *Hypergraph, opt Options) (*Decomposition, error) {
-	o, _, err := ghwOrderingCtx(ctx, h, opt)
+	o, _, orc, err := ghwOrderingOracle(ctx, h, opt)
 	if err != nil {
 		return nil, err
 	}
-	d := order.GHD(h, o, rand.New(rand.NewSource(opt.Seed)), true)
+	// Materialize λ through the same oracle the search used: the exact
+	// covers of the final ordering's χ-sets are usually already memoized.
+	d := order.GHDWith(h, o, rand.New(rand.NewSource(opt.Seed)), true, orc)
+	foldCover(opt.Stats, orc)
 	if err := d.ValidateGHD(); err != nil {
 		return nil, fmt.Errorf("htd: internal error: produced invalid decomposition: %w", err)
 	}
@@ -286,18 +298,45 @@ func GHWCtx(ctx context.Context, h *Hypergraph, opt Options) (Result, error) {
 }
 
 func ghwOrderingCtx(ctx context.Context, h *Hypergraph, opt Options) (order.Ordering, Result, error) {
+	o, res, orc, err := ghwOrderingOracle(ctx, h, opt)
+	foldCover(opt.Stats, orc)
+	return o, res, err
+}
+
+// ghwOrderingOracle runs the selected GHW method and returns, alongside
+// the ordering, the run's shared cover oracle so the caller can reuse its
+// memoized covers (DecomposeCtx) and fold its cache counters into the
+// run's Stats exactly once.
+func ghwOrderingOracle(ctx context.Context, h *Hypergraph, opt Options) (order.Ordering, Result, *cover.Oracle, error) {
 	if h.NumVertices() == 0 {
-		return nil, Result{Exact: true, Ordering: []int{}}, nil
+		return nil, Result{Exact: true, Ordering: []int{}}, nil, nil
 	}
+	orc := cover.New(h, cover.Options{Disabled: opt.DisableCoverCache})
 	if opt.Method == MethodPortfolio {
-		return portfolioGHW(ctx, h, opt)
+		o, res, err := portfolioGHW(ctx, h, opt, orc)
+		return o, res, orc, err
 	}
-	return ghwOne(ctx, h, opt, newScope(opt))
+	o, res, err := ghwOne(ctx, h, opt, newScope(opt), orc)
+	return o, res, orc, err
+}
+
+// foldCover adds the oracle's cache counters to st (both may be nil).
+// Called once per run at the facade level — the oracle is shared across
+// portfolio workers, so per-worker snapshots carry zero cover counters and
+// the totals are folded here instead.
+func foldCover(st *Stats, orc *cover.Oracle) {
+	if st == nil || orc == nil {
+		return
+	}
+	c := orc.Counters()
+	st.AddCover(c.Hits, c.Misses, c.Evictions)
 }
 
 // ghwOne runs a single (non-portfolio) GHW method under ctx, reporting
 // counters, incumbents and phases into sc (nil = telemetry disabled).
-func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope) (order.Ordering, Result, error) {
+// orc is the run's shared cover oracle (nil = let each engine build a
+// private one).
+func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope, orc *cover.Oracle) (order.Ordering, Result, error) {
 	sc.phase("start")
 	defer sc.phase("done")
 	var res Result
@@ -309,7 +348,7 @@ func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope) (order.O
 		if err != nil {
 			return nil, Result{}, err
 		}
-		w := order.GHWidth(h, ord, nil, true)
+		w := order.GHWidthWith(h, ord, nil, true, orc)
 		if hook := sc.incumbentHook(); hook != nil {
 			hook(w)
 		}
@@ -327,9 +366,13 @@ func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope) (order.O
 		r := ga.SAIGAGHWCtx(ctx, h, cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
-		res = bb.GHWCtx(ctx, h, sc.searchOptions(opt))
+		so := sc.searchOptions(opt)
+		so.Cover = orc
+		res = bb.GHWCtx(ctx, h, so)
 	case MethodAStar:
-		res = astar.GHWCtx(ctx, h, sc.searchOptions(opt))
+		so := sc.searchOptions(opt)
+		so.Cover = orc
+		res = astar.GHWCtx(ctx, h, so)
 	default:
 		return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}

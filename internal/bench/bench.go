@@ -42,8 +42,11 @@ type Record struct {
 	Winner       string            `json:"winner,omitempty"`
 	LowerBoundBy string            `json:"lower_bound_by,omitempty"`
 	Counters     htd.StatsSnapshot `json:"counters"`
-	Anytime      []CurvePoint      `json:"anytime"`
-	Error        string            `json:"error,omitempty"`
+	// CoverHitRate is hits / (hits + misses) over the run's cover-oracle
+	// lookups (0 when the run made none, or the cache was disabled).
+	CoverHitRate float64      `json:"cover_hit_rate"`
+	Anytime      []CurvePoint `json:"anytime"`
+	Error        string       `json:"error,omitempty"`
 }
 
 // Report is the top-level document of a BENCH_*.json file.
@@ -66,6 +69,9 @@ type Config struct {
 	Timeout time.Duration
 	// Methods lists the methods to run per instance.
 	Methods []htd.Method
+	// DisableCoverCache turns off the shared cover-oracle cache in every
+	// GHW run, for measuring cache effectiveness (htdbench -nocovercache).
+	DisableCoverCache bool
 	// Log, when non-nil, receives one progress line per record.
 	Log io.Writer
 }
@@ -119,7 +125,10 @@ func Run(cfg Config) Report {
 			st := new(htd.Stats)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 			start := time.Now()
-			res, err := htd.GHWCtx(ctx, h, htd.Options{Method: m, Seed: cfg.Seed, Stats: st})
+			res, err := htd.GHWCtx(ctx, h, htd.Options{
+				Method: m, Seed: cfg.Seed, Stats: st,
+				DisableCoverCache: cfg.DisableCoverCache,
+			})
 			cancel()
 			fill(&rec, res, err, time.Since(start), st)
 			rep.Records = append(rep.Records, rec)
@@ -134,6 +143,9 @@ func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.St
 	rec.WallMs = float64(wall.Microseconds()) / 1e3
 	rec.Counters = st.Snapshot()
 	rec.Nodes = rec.Counters.Nodes
+	if total := rec.Counters.CoverHits + rec.Counters.CoverMisses; total > 0 {
+		rec.CoverHitRate = float64(rec.Counters.CoverHits) / float64(total)
+	}
 	for _, inc := range st.Trace() {
 		rec.Anytime = append(rec.Anytime, CurvePoint{
 			Ms:     float64(inc.Elapsed.Microseconds()) / 1e3,

@@ -176,6 +176,9 @@ func (s *Set) SubsetOf(o *Set) bool {
 
 // Equal reports whether s and o contain the same elements.
 func (s *Set) Equal(o *Set) bool {
+	if s == o {
+		return true
+	}
 	m := len(s.words)
 	if len(o.words) > m {
 		m = len(o.words)
@@ -237,6 +240,36 @@ func (s *Set) Max() int {
 		}
 	}
 	return -1
+}
+
+// Hash returns a 64-bit hash of the set's contents. Equal sets hash
+// equally regardless of capacity (zero words contribute nothing), and the
+// word index is mixed into each word's contribution so shifted contents
+// hash differently. The per-word mixes are combined with XOR, making the
+// result independent of iteration details and cheap to compute: one
+// splitmix64 finalizer per non-zero word and no allocation.
+//
+// Hash is a fingerprint, not an identity: callers memoizing by hash must
+// confirm candidates with Equal.
+func (s *Set) Hash() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		h ^= mix64(w + uint64(i+1)*0x9E3779B97F4A7C15)
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // Key returns a string usable as a map key identifying the set's contents.

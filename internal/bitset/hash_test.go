@@ -1,0 +1,145 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHashEqualSets: equal contents hash equally however the set was built
+// and whatever its capacity (trailing zero words must not matter).
+func TestHashEqualSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(300)
+		elems := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				elems = append(elems, v)
+			}
+		}
+		a := FromSlice(elems)
+		// Same contents, large capacity, insertion in reverse order.
+		b := New(n + 512)
+		for i := len(elems) - 1; i >= 0; i-- {
+			b.Add(elems[i])
+		}
+		// Same contents reached by over-filling then removing.
+		c := New(n)
+		for v := 0; v < n; v++ {
+			c.Add(v)
+		}
+		for v := 0; v < n; v++ {
+			c.Remove(v)
+		}
+		for _, v := range elems {
+			c.Add(v)
+		}
+		if !a.Equal(b) || !a.Equal(c) {
+			t.Fatalf("trial %d: construction mismatch", trial)
+		}
+		if a.Hash() != b.Hash() || a.Hash() != c.Hash() {
+			t.Fatalf("trial %d: equal sets, unequal hashes: %x %x %x",
+				trial, a.Hash(), b.Hash(), c.Hash())
+		}
+	}
+}
+
+// TestHashDistinguishes: single-element perturbations change the hash (no
+// collisions observed over many trials — Hash is 64-bit, so any collision
+// here would indicate broken mixing, not bad luck).
+func TestHashDistinguishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(256)
+		s := New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				s.Add(v)
+			}
+		}
+		h := s.Hash()
+		v := rng.Intn(n)
+		mutated := s.Clone()
+		if mutated.Contains(v) {
+			mutated.Remove(v)
+		} else {
+			mutated.Add(v)
+		}
+		if mutated.Hash() == h {
+			t.Fatalf("trial %d: flipping %d left hash %x unchanged", trial, v, h)
+		}
+	}
+	// Shifted contents must not collide: {i} vs {i+64} share the word value.
+	for i := 0; i < 128; i++ {
+		a, b := New(256), New(256)
+		a.Add(i)
+		b.Add(i + 64)
+		if a.Hash() == b.Hash() {
+			t.Fatalf("{%d} and {%d} collide", i, i+64)
+		}
+	}
+}
+
+// TestHashDistribution: distinct random sets produce distinct hashes (a
+// birthday collision among a few thousand 64-bit hashes is ~1e-13) and
+// spread across high and low hash bits.
+func TestHashDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const samples = 4000
+	seen := make(map[uint64][]*Set, samples)
+	var buckets [16]int
+	for i := 0; i < samples; i++ {
+		s := New(200)
+		for v := 0; v < 200; v++ {
+			if rng.Intn(4) == 0 {
+				s.Add(v)
+			}
+		}
+		h := s.Hash()
+		for _, prev := range seen[h] {
+			if !prev.Equal(s) {
+				t.Fatalf("hash collision between distinct sets at %x", h)
+			}
+		}
+		seen[h] = append(seen[h], s)
+		buckets[h>>60]++
+	}
+	// Loose uniformity check on the top nibble: each of the 16 buckets
+	// expects samples/16 = 250; reject only gross skew.
+	for b, cnt := range buckets {
+		if cnt < 125 || cnt > 500 {
+			t.Fatalf("bucket %d holds %d of %d samples — skewed top bits", b, cnt, samples)
+		}
+	}
+}
+
+// TestEqualFastPath: aliasing and capacity differences.
+func TestEqualFastPath(t *testing.T) {
+	s := FromSlice([]int{1, 5, 130})
+	if !s.Equal(s) {
+		t.Fatal("set not equal to itself")
+	}
+	big := New(1024)
+	for _, v := range []int{1, 5, 130} {
+		big.Add(v)
+	}
+	if !s.Equal(big) || !big.Equal(s) {
+		t.Fatal("capacity difference broke Equal")
+	}
+	if s.Hash() != big.Hash() {
+		t.Fatal("capacity difference broke Hash")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	s := New(1024)
+	for v := 0; v < 1024; v += 3 {
+		s.Add(v)
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Hash()
+	}
+	_ = sink
+}

@@ -1,0 +1,307 @@
+// Package cover is the shared cover-oracle layer of the GHW engines: it
+// wraps setcover.Solver behind an interned-bag API and memoizes cover
+// results in a sharded, lock-striped transposition table keyed by 64-bit
+// bag hashes (bitset.Set.Hash) with Equal-verified chains, so a hash
+// collision can never corrupt a result.
+//
+// Every engine that turns elimination cliques into λ-covers — the
+// ordering-based BB/A* searches, the width evaluators behind the genetic
+// algorithms, and the min-fill facade path — re-solves the same set-cover
+// subproblems for the same candidate bags, within one run and across the
+// racing workers of a portfolio. The det-k-decomp lineage and BalancedGo
+// (Gottlob–Okulmus–Pichler) get their speed from exactly this kind of
+// subproblem caching; this package makes it a single concurrency-safe
+// substrate.
+//
+// Determinism contract: everything an Oracle memoizes is computed
+// deterministically (exact covers, and greedy covers with lowest-index
+// tie-breaking), so cache state — shared, evicted, or disabled — is
+// invisible in results: a query returns the same value whether it hits,
+// misses, or the cache is off. Randomized greedy covers (GA tie-breaking)
+// are therefore NOT served by the oracle; callers that need them keep a
+// private rng solver. This is what makes cross-worker sharing safe and
+// keeps Jobs=1 portfolio runs bit-for-bit reproducible.
+package cover
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
+)
+
+// numShards stripes the transposition table; queries lock only their
+// bag-hash's shard, so portfolio workers rarely contend.
+const numShards = 32
+
+// defaultMaxEntries bounds the cached bags per Oracle. Each entry retains
+// an interned bag plus up to two small covers; 1<<17 entries keep worst
+// cases in the tens of megabytes.
+const defaultMaxEntries = 1 << 17
+
+// Options configures an Oracle.
+type Options struct {
+	// Disabled turns memoization off: queries still use pooled solvers and
+	// scratch buffers, but nothing is cached. Results are identical either
+	// way (see the package determinism contract); the toggle exists for
+	// ablation and cache-consistency testing.
+	Disabled bool
+	// MaxEntries bounds the number of cached bags (0 = default). When a
+	// shard exceeds its share, half of it is evicted (random map order —
+	// harmless, since recomputation is deterministic).
+	MaxEntries int
+}
+
+// CounterSnapshot is a plain copy of an oracle's (or memo's) counters.
+type CounterSnapshot struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any query.
+func (c CounterSnapshot) HitRate() float64 {
+	if t := c.Hits + c.Misses; t > 0 {
+		return float64(c.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Oracle answers greedy and exact set-cover queries against a fixed
+// hypergraph's edge set, memoizing per interned bag. Safe for concurrent
+// use; one Oracle may be shared by every worker attacking the instance.
+type Oracle struct {
+	h         *hypergraph.Hypergraph
+	coverable *bitset.Set // vertices occurring in at least one hyperedge
+	disabled  bool
+	perShard  int
+	shards    [numShards]coverShard
+
+	solvers sync.Pool // *setcover.Solver with deterministic tie-breaking
+	scratch sync.Pool // *bitset.Set canonical-bag buffers
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type coverShard struct {
+	mu sync.Mutex
+	m  map[uint64]*coverEntry
+	n  int // interned bags in this shard
+}
+
+// coverEntry memoizes the covers of one interned bag. Entries with equal
+// hashes chain through next and are distinguished by Equal.
+type coverEntry struct {
+	bag       *bitset.Set
+	next      *coverEntry
+	greedy    []int // deterministic greedy cover (valid when hasGreedy)
+	exact     []int // minimum-cardinality cover (valid when hasExact)
+	hasGreedy bool
+	hasExact  bool
+}
+
+// New returns an Oracle over h's hyperedges.
+func New(h *hypergraph.Hypergraph, opt Options) *Oracle {
+	maxEntries := opt.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = defaultMaxEntries
+	}
+	perShard := maxEntries / numShards
+	if perShard < 2 {
+		perShard = 2
+	}
+	coverable := bitset.New(h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		coverable.UnionWith(h.EdgeSet(e))
+	}
+	o := &Oracle{
+		h:         h,
+		coverable: coverable,
+		disabled:  opt.Disabled,
+		perShard:  perShard,
+	}
+	o.solvers.New = func() any { return setcover.New(h, nil) }
+	o.scratch.New = func() any { return bitset.New(h.NumVertices()) }
+	return o
+}
+
+// Hypergraph returns the instance this oracle answers queries for.
+func (o *Oracle) Hypergraph() *hypergraph.Hypergraph { return o.h }
+
+// Counters reads the hit/miss/eviction counters.
+func (o *Oracle) Counters() CounterSnapshot {
+	return CounterSnapshot{
+		Hits:      o.hits.Load(),
+		Misses:    o.misses.Load(),
+		Evictions: o.evictions.Load(),
+	}
+}
+
+// GreedySize returns the size of the deterministic greedy cover of target
+// (lowest-index tie-breaking, Fig. 7.2), memoized.
+func (o *Oracle) GreedySize(target *bitset.Set) int {
+	return o.query(target, false, nil)
+}
+
+// Greedy returns the deterministic greedy cover of target as a fresh
+// slice, memoized.
+func (o *Oracle) Greedy(target *bitset.Set) []int {
+	var out []int
+	o.query(target, false, &out)
+	return out
+}
+
+// ExactSize returns the minimum cover cardinality of target, memoized.
+func (o *Oracle) ExactSize(target *bitset.Set) int {
+	return o.query(target, true, nil)
+}
+
+// Exact returns a minimum-cardinality cover of target as a fresh slice,
+// memoized.
+func (o *Oracle) Exact(target *bitset.Set) []int {
+	var out []int
+	o.query(target, true, &out)
+	return out
+}
+
+// query canonicalizes target, consults the transposition table, and solves
+// on a miss. When out is non-nil it receives a copy of the cover edges.
+func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
+	// Canonical bag: covers ignore vertices in no hyperedge, so interning
+	// target ∩ coverable makes e.g. {v} ∪ N(v) and its constrained subset
+	// share one entry.
+	bag := o.scratch.Get().(*bitset.Set)
+	defer o.scratch.Put(bag)
+	bag.CopyFrom(target)
+	bag.IntersectWith(o.coverable)
+	if bag.Empty() {
+		return 0
+	}
+
+	if o.disabled {
+		cov := o.solve(bag, exact)
+		if out != nil {
+			*out = append([]int(nil), cov...)
+		}
+		return len(cov)
+	}
+
+	hash := bag.Hash()
+	shard := &o.shards[hash&(numShards-1)]
+
+	shard.mu.Lock()
+	e := shard.lookup(hash, bag)
+	if e != nil {
+		if cov, ok := e.cover(exact); ok {
+			if out != nil {
+				*out = append([]int(nil), cov...)
+			}
+			shard.mu.Unlock()
+			o.hits.Add(1)
+			return len(cov)
+		}
+	}
+	shard.mu.Unlock()
+
+	// Miss: solve outside the lock so other queries proceed. Two workers
+	// may race to the same bag; both compute the same deterministic answer
+	// and the second insert below is a no-op.
+	o.misses.Add(1)
+	cov := o.solve(bag, exact)
+	if out != nil {
+		*out = append([]int(nil), cov...)
+	}
+
+	shard.mu.Lock()
+	e = shard.lookup(hash, bag)
+	if e == nil {
+		if shard.m == nil {
+			shard.m = make(map[uint64]*coverEntry)
+		}
+		e = &coverEntry{bag: bag.Clone(), next: shard.m[hash]}
+		shard.m[hash] = e
+		shard.n++
+		if shard.n > o.perShard {
+			o.evictions.Add(int64(shard.evictHalf()))
+		}
+	}
+	e.store(exact, cov)
+	shard.mu.Unlock()
+	return len(cov)
+}
+
+// solve computes the cover with a pooled deterministic solver.
+func (o *Oracle) solve(bag *bitset.Set, exact bool) []int {
+	sv := o.solvers.Get().(*setcover.Solver)
+	defer o.solvers.Put(sv)
+	if exact {
+		return sv.Exact(bag)
+	}
+	return sv.Greedy(bag)
+}
+
+// lookup finds the entry for bag in the hash chain, or nil. Caller holds
+// the shard lock.
+func (s *coverShard) lookup(hash uint64, bag *bitset.Set) *coverEntry {
+	for e := s.m[hash]; e != nil; e = e.next {
+		if e.bag.Equal(bag) {
+			return e
+		}
+	}
+	return nil
+}
+
+// cover returns the memoized cover of the requested kind. Greedy queries
+// never fall back to a cached exact cover (or vice versa): the two can
+// differ in size, and serving one for the other would make cache state
+// visible in results, breaking the determinism contract.
+func (e *coverEntry) cover(exact bool) ([]int, bool) {
+	if exact {
+		return e.exact, e.hasExact
+	}
+	return e.greedy, e.hasGreedy
+}
+
+func (e *coverEntry) store(exact bool, cov []int) {
+	if exact {
+		if !e.hasExact {
+			e.exact = append([]int(nil), cov...)
+			e.hasExact = true
+		}
+		return
+	}
+	if !e.hasGreedy {
+		e.greedy = append([]int(nil), cov...)
+		e.hasGreedy = true
+	}
+}
+
+// evictHalf drops roughly half the shard's entries (random map order) and
+// returns how many bags were evicted. Caller holds the shard lock.
+// Deterministic recomputation makes the victim choice harmless.
+func (s *coverShard) evictHalf() int {
+	keep := s.n / 2
+	dropped := 0
+	for hash, e := range s.m {
+		if s.n <= keep {
+			break
+		}
+		for ; e != nil; e = e.next {
+			s.n--
+			dropped++
+		}
+		delete(s.m, hash)
+	}
+	return dropped
+}
+
+// pairHash combines two bag hashes asymmetrically, so (a, b) and (b, a)
+// land on different keys.
+func pairHash(a, b *bitset.Set) uint64 {
+	return a.Hash() ^ bits.RotateLeft64(b.Hash(), 17) ^ 0x94D049BB133111EB
+}

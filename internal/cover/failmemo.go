@@ -1,0 +1,121 @@
+package cover
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/bitset"
+)
+
+// defaultMaxFailEntries bounds the memoized failure certificates. Dropping
+// a certificate only costs re-deriving the failure, so the bound trades
+// memory for repeated subproblem work, never correctness.
+const defaultMaxFailEntries = 1 << 18
+
+// FailMemo memoizes failed (component, connector) subproblem pairs — the
+// det-k-decomp failure certificates — keyed by hashed bitset pairs with
+// Equal-verified chains, replacing allocation-heavy string-key maps. It is
+// safe for concurrent use (sharded, lock-striped), so the parallel
+// balanced-separator recursion needs no extra locking around it.
+//
+// A memo is only meaningful for one fixed (hypergraph, k): failure of a
+// pair depends on the width bound, so callers create a fresh memo per
+// Decompose(k) call rather than sharing across k values.
+type FailMemo struct {
+	perShard int
+	shards   [numShards]failShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type failShard struct {
+	mu sync.Mutex
+	m  map[uint64]*failEntry
+	n  int
+}
+
+type failEntry struct {
+	comp *bitset.Set
+	conn *bitset.Set
+	next *failEntry
+}
+
+// NewFailMemo returns an empty failure memo. maxEntries bounds the stored
+// certificates (0 = default).
+func NewFailMemo(maxEntries int) *FailMemo {
+	if maxEntries <= 0 {
+		maxEntries = defaultMaxFailEntries
+	}
+	perShard := maxEntries / numShards
+	if perShard < 2 {
+		perShard = 2
+	}
+	return &FailMemo{perShard: perShard}
+}
+
+// Failed reports whether (comp, conn) was marked infeasible.
+func (m *FailMemo) Failed(comp, conn *bitset.Set) bool {
+	hash := pairHash(comp, conn)
+	shard := &m.shards[hash&(numShards-1)]
+	shard.mu.Lock()
+	for e := shard.m[hash]; e != nil; e = e.next {
+		if e.comp.Equal(comp) && e.conn.Equal(conn) {
+			shard.mu.Unlock()
+			m.hits.Add(1)
+			return true
+		}
+	}
+	shard.mu.Unlock()
+	m.misses.Add(1)
+	return false
+}
+
+// MarkFailed records (comp, conn) as infeasible, interning clones of both
+// sets. Marking a pair twice is a no-op.
+func (m *FailMemo) MarkFailed(comp, conn *bitset.Set) {
+	hash := pairHash(comp, conn)
+	shard := &m.shards[hash&(numShards-1)]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	for e := shard.m[hash]; e != nil; e = e.next {
+		if e.comp.Equal(comp) && e.conn.Equal(conn) {
+			return
+		}
+	}
+	if shard.m == nil {
+		shard.m = make(map[uint64]*failEntry)
+	}
+	shard.m[hash] = &failEntry{comp: comp.Clone(), conn: conn.Clone(), next: shard.m[hash]}
+	shard.n++
+	if shard.n > m.perShard {
+		m.evictions.Add(int64(shard.evictHalf()))
+	}
+}
+
+// Counters reads the memo's hit/miss/eviction counters (a hit is a
+// successfully reused failure certificate).
+func (m *FailMemo) Counters() CounterSnapshot {
+	return CounterSnapshot{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+	}
+}
+
+func (s *failShard) evictHalf() int {
+	keep := s.n / 2
+	dropped := 0
+	for hash, e := range s.m {
+		if s.n <= keep {
+			break
+		}
+		for ; e != nil; e = e.next {
+			s.n--
+			dropped++
+		}
+		delete(s.m, hash)
+	}
+	return dropped
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 )
@@ -35,10 +36,10 @@ func DecomposeBalanced(h *hypergraph.Hypergraph, k int, opt BalancedOptions) (*d
 	}
 	s := &balSolver{
 		solver: solver{
-			h:      h,
-			k:      k,
-			failed: make(map[string]bool),
-			opt:    Options{MaxGuesses: opt.MaxGuesses},
+			h:    h,
+			k:    k,
+			memo: cover.NewFailMemo(0),
+			opt:  Options{MaxGuesses: opt.MaxGuesses},
 		},
 		bopt: opt,
 	}
@@ -59,26 +60,13 @@ func DecomposeBalanced(h *hypergraph.Hypergraph, k int, opt BalancedOptions) (*d
 type balSolver struct {
 	solver
 	bopt BalancedOptions
-	mu   sync.Mutex // guards solver.failed under parallel recursion
-}
-
-func (s *balSolver) failedKey(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failed[key]
-}
-
-func (s *balSolver) markFailed(key string) {
-	s.mu.Lock()
-	s.failed[key] = true
-	s.mu.Unlock()
 }
 
 // decomposeBalanced mirrors solver.decompose but tries feasible separators
-// most-balanced first.
+// most-balanced first. The shared failure memo is lock-striped internally,
+// so parallel recursion into sibling components needs no extra locking.
 func (s *balSolver) decomposeBalanced(comp, conn *bitset.Set) *node {
-	key := comp.Key() + "|" + conn.Key()
-	if s.failedKey(key) {
+	if s.memo.Failed(comp, conn) {
 		return nil
 	}
 
@@ -153,7 +141,7 @@ func (s *balSolver) decomposeBalanced(comp, conn *bitset.Set) *node {
 			return n
 		}
 	}
-	s.markFailed(key)
+	s.memo.MarkFailed(comp, conn)
 	return nil
 }
 

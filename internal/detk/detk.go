@@ -15,6 +15,7 @@ package detk
 
 import (
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 )
@@ -33,10 +34,10 @@ func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposit
 		return nil, false
 	}
 	s := &solver{
-		h:      h,
-		k:      k,
-		failed: make(map[string]bool),
-		opt:    opt,
+		h:    h,
+		k:    k,
+		memo: cover.NewFailMemo(0),
+		opt:  opt,
 	}
 	allEdges := bitset.New(h.NumEdges())
 	for e := 0; e < h.NumEdges(); e++ {
@@ -82,9 +83,13 @@ func attach(d *decomp.Decomposition, n *node, parent *decomp.Node) {
 }
 
 type solver struct {
-	h       *hypergraph.Hypergraph
-	k       int
-	failed  map[string]bool // (component,connector) pairs proven infeasible
+	h *hypergraph.Hypergraph
+	k int
+	// memo records (component, connector) pairs proven infeasible at this
+	// k. Keys are hashed interned bitsets (no string materialization); the
+	// memo is scoped to one Decompose call because failure certificates are
+	// k-dependent.
+	memo    *cover.FailMemo
 	guesses int64
 	opt     Options
 }
@@ -93,8 +98,7 @@ type solver struct {
 // covers conn (the connector vertices shared with the parent separator).
 // Returns nil on failure.
 func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
-	key := comp.Key() + "|" + conn.Key()
-	if s.failed[key] {
+	if s.memo.Failed(comp, conn) {
 		return nil
 	}
 
@@ -122,7 +126,7 @@ func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
 	var lambda []int
 	res := s.searchSeparator(comp, conn, compVars, candidates, 0, lambda)
 	if res == nil {
-		s.failed[key] = true
+		s.memo.MarkFailed(comp, conn)
 	}
 	return res
 }

@@ -1,0 +1,90 @@
+package detk
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
+)
+
+// memoPairs builds deterministic pseudo-random (component, connector)
+// pairs shaped like det-k-decomp subproblems, with repeats so both memo
+// implementations see hits as well as inserts.
+func memoPairs(count int, seed int64) [][2]*bitset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]*bitset.Set, 0, count)
+	for i := 0; i < count; i++ {
+		if len(out) > 0 && rng.Intn(3) == 0 {
+			p := out[rng.Intn(len(out))]
+			out = append(out, [2]*bitset.Set{p[0].Clone(), p[1].Clone()})
+			continue
+		}
+		comp := bitset.New(96)
+		for e := 0; e < 96; e++ {
+			if rng.Intn(4) == 0 {
+				comp.Add(e)
+			}
+		}
+		conn := bitset.New(128)
+		for v := 0; v < 128; v++ {
+			if rng.Intn(10) == 0 {
+				conn.Add(v)
+			}
+		}
+		out = append(out, [2]*bitset.Set{comp, conn})
+	}
+	return out
+}
+
+// The two benchmarks below compare the solver's failure memo before and
+// after the cover.FailMemo refactor on the operation that dominates:
+// probing. decompose() consults the memo on every subproblem entry, while
+// marks happen only once per proven-infeasible pair, so the steady state
+// is lookups against a populated memo. The string-key scheme must
+// materialize comp.Key()+"|"+conn.Key() on every probe; the hashed scheme
+// hashes both bitsets in place and allocates nothing.
+
+// BenchmarkMemoStringKeys is the pre-refactor scheme: string keys into a
+// map[string]bool.
+func BenchmarkMemoStringKeys(b *testing.B) {
+	pairs := memoPairs(256, 42)
+	failed := make(map[string]bool)
+	for i, p := range pairs {
+		if i%2 == 0 {
+			failed[p[0].Key()+"|"+p[1].Key()] = true
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if failed[p[0].Key()+"|"+p[1].Key()] {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+// BenchmarkMemoHashedBitsets is the replacement: hashed interned bitset
+// pairs in cover.FailMemo.
+func BenchmarkMemoHashedBitsets(b *testing.B) {
+	pairs := memoPairs(256, 42)
+	memo := cover.NewFailMemo(0)
+	for i, p := range pairs {
+		if i%2 == 0 {
+			memo.MarkFailed(p[0], p[1])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if memo.Failed(p[0], p[1]) {
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/setcover"
@@ -17,18 +18,31 @@ import (
 // The returned decomposition carries λ labels; its GHWidth() is the width
 // of the ordering in the sense of Def. 17 (exactly, when exact=true).
 func GHD(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool) *decomp.Decomposition {
+	return GHDWith(h, o, rng, exact, nil)
+}
+
+// GHDWith is GHD over a caller-supplied cover oracle (nil = private).
+// Passing the oracle of the search that produced o lets the final
+// λ-materialization reuse the exact covers the search already memoized.
+// Greedy covers with a non-nil rng bypass the oracle (see
+// NewGHWEvaluatorWith); greedy covers with rng == nil go through it.
+func GHDWith(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool, orc *cover.Oracle) *decomp.Decomposition {
 	d := VertexElimination(h, o)
-	cover := newCoverFunc(h, rng, exact)
-	d.CoverChi(cover)
+	d.CoverChi(newCoverFunc(h, rng, exact, orc))
 	return d
 }
 
-func newCoverFunc(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool) func(*bitset.Set) []int {
-	s := setcover.New(h, rng)
-	if exact {
-		return s.Exact
+func newCoverFunc(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool, orc *cover.Oracle) func(*bitset.Set) []int {
+	if !exact && rng != nil {
+		return setcover.New(h, rng).Greedy
 	}
-	return s.Greedy
+	if orc == nil {
+		orc = cover.New(h, cover.Options{})
+	}
+	if exact {
+		return orc.Exact
+	}
+	return orc.Greedy
 }
 
 // GHWidth returns width(σ, H) per Def. 17 when exact=true: the maximum,
@@ -36,6 +50,12 @@ func newCoverFunc(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool) func(*bi
 // With exact=false it is the greedy upper bound GA-ghw optimizes.
 func GHWidth(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool) int {
 	return NewGHWEvaluator(h, rng, exact).Width(o)
+}
+
+// GHWidthWith is GHWidth over a caller-supplied cover oracle (nil =
+// private); see NewGHWEvaluatorWith for the sharing contract.
+func GHWidthWith(h *hypergraph.Hypergraph, o Ordering, rng *rand.Rand, exact bool, orc *cover.Oracle) int {
+	return NewGHWEvaluatorWith(h, rng, exact, orc).Width(o)
 }
 
 // TWWidth returns the tree-decomposition width of the ordering over the

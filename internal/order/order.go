@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/setcover"
@@ -216,6 +217,10 @@ func assembleTree(h *hypergraph.Hypergraph, o Ordering, chi []*bitset.Set, paren
 // once the width reaches the number of remaining vertices.
 //
 // An Evaluator is not safe for concurrent use; create one per goroutine.
+// The cover oracle behind a GHW evaluator IS safe to share: hand the same
+// oracle to every per-goroutine evaluator of one instance and their exact
+// covers are solved once (cross-worker caching); randomized greedy covers
+// bypass the cache by design, keeping seeds independent.
 type Evaluator struct {
 	h    *hypergraph.Hypergraph
 	base []*bitset.Set // primal adjacency
@@ -224,36 +229,56 @@ type Evaluator struct {
 	chi  *bitset.Set
 	pos  []int // scratch: elimination position per vertex
 
-	cover *setcover.Solver // nil for treewidth evaluation
-	exact bool             // use exact set cover instead of greedy
+	orc      *cover.Oracle    // nil for treewidth evaluation
+	rngCover *setcover.Solver // rng-tie-breaking greedy (nil when rng == nil)
+	exact    bool             // use exact set cover instead of greedy
 }
 
 // NewTWEvaluator returns an evaluator of tree-decomposition widths over the
 // primal graph of h.
 func NewTWEvaluator(h *hypergraph.Hypergraph) *Evaluator {
-	return newEvaluator(h, nil, false)
+	return newEvaluator(h, nil, nil, false)
 }
 
 // NewGHWEvaluator returns an evaluator of generalized hypertree widths.
 // With exact=false it uses the greedy set-cover heuristic with rng
 // tie-breaking (as GA-ghw does); with exact=true it solves each cover
-// exactly (as the branch-and-bound and A* searches require).
+// exactly (as the branch-and-bound and A* searches require), memoized in
+// a private cover oracle.
 func NewGHWEvaluator(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool) *Evaluator {
-	return newEvaluator(h, setcover.New(h, rng), exact)
+	return NewGHWEvaluatorWith(h, rng, exact, nil)
 }
 
-func newEvaluator(h *hypergraph.Hypergraph, cover *setcover.Solver, exact bool) *Evaluator {
+// NewGHWEvaluatorWith is NewGHWEvaluator over a caller-supplied cover
+// oracle (nil = private), so concurrent evaluators of the same instance
+// share one memo table. Exact covers and nil-rng greedy covers go through
+// the oracle; greedy covers with a non-nil rng are computed by a private
+// solver and never cached, because their tie-breaking depends on the
+// caller's random stream.
+func NewGHWEvaluatorWith(h *hypergraph.Hypergraph, rng *rand.Rand, exact bool, orc *cover.Oracle) *Evaluator {
+	if orc == nil {
+		orc = cover.New(h, cover.Options{})
+	}
+	var rngCover *setcover.Solver
+	if rng != nil && !exact {
+		rngCover = setcover.New(h, rng)
+	}
+	return newEvaluator(h, orc, rngCover, exact)
+}
+
+func newEvaluator(h *hypergraph.Hypergraph, orc *cover.Oracle, rngCover *setcover.Solver, exact bool) *Evaluator {
 	g := h.PrimalGraph()
 	n := h.NumVertices()
 	e := &Evaluator{
-		h:     h,
-		base:  adjacencyOf(g),
-		adj:   make([]*bitset.Set, n),
-		elim:  bitset.New(n),
-		chi:   bitset.New(n),
-		pos:   make([]int, n),
-		cover: cover,
-		exact: exact,
+		h:        h,
+		base:     adjacencyOf(g),
+		adj:      make([]*bitset.Set, n),
+		elim:     bitset.New(n),
+		chi:      bitset.New(n),
+		pos:      make([]int, n),
+		orc:      orc,
+		rngCover: rngCover,
+		exact:    exact,
 	}
 	for v := 0; v < n; v++ {
 		e.adj[v] = bitset.New(n)
@@ -291,7 +316,7 @@ func (e *Evaluator) Width(o Ordering) int {
 		x.DifferenceWith(e.elim)
 		x.Remove(v)
 
-		if e.cover == nil {
+		if e.orc == nil {
 			if l := x.Len(); l > width {
 				width = l
 			}
@@ -299,10 +324,16 @@ func (e *Evaluator) Width(o Ordering) int {
 			e.chi.CopyFrom(x)
 			e.chi.Add(v)
 			var k int
-			if e.exact {
-				k = e.cover.ExactSize(e.chi)
-			} else {
-				k = e.cover.GreedySize(e.chi)
+			switch {
+			case e.exact:
+				k = e.orc.ExactSize(e.chi)
+			case e.rngCover != nil:
+				// Randomized greedy: tie-breaking consumes the caller's rng
+				// stream, so it must not be served from (or stored in) the
+				// shared memo table.
+				k = e.rngCover.GreedySize(e.chi)
+			default:
+				k = e.orc.GreedySize(e.chi)
 			}
 			if k > width {
 				width = k

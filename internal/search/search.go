@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/elim"
 	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
@@ -90,19 +91,26 @@ func TWModeCtx(ctx context.Context, rng *rand.Rand) Mode {
 // vertex set, which is a valid completion cost because covering is
 // monotone: every future χ-set is a subset of the current remaining set.
 func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
-	return GHWModeCtx(context.Background(), h, rng)
+	return GHWModeCtx(context.Background(), h, rng, nil)
 }
 
 // GHWModeCtx is GHWMode with cancellation plumbed into the residual and
-// root lower bounds (see TWModeCtx).
-func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
-	solver := setcover.New(h, rng)
+// root lower bounds (see TWModeCtx), and with the cover-oracle shared by
+// the run: orc memoizes the exact step covers and the greedy finish covers
+// (nil = a private oracle). All covers the mode requests are computed
+// deterministically (the oracle's contract), so the mode's values never
+// depend on cache state or on who else shares the oracle; rng only feeds
+// the lower-bound heuristics.
+func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, orc *cover.Oracle) Mode {
+	if orc == nil {
+		orc = cover.New(h, cover.Options{})
+	}
 	scratch := bitset.New(h.NumVertices())
 	return Mode{
 		StepCost: func(g *elim.Graph, v int) int {
 			scratch.CopyFrom(g.Neighbors(v))
 			scratch.Add(v)
-			return solver.ExactSize(scratch)
+			return orc.ExactSize(scratch)
 		},
 		ResidualLB: func(g *elim.Graph) int {
 			if g.Remaining() == 0 {
@@ -117,7 +125,7 @@ func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand) M
 			if scratch.Empty() {
 				return 0
 			}
-			return solver.GreedySize(scratch)
+			return orc.GreedySize(scratch)
 		},
 		RootLB: func(g *elim.Graph) int {
 			if g.Remaining() == 0 {
@@ -227,6 +235,12 @@ type Options struct {
 	DisableDominance bool
 	// Seed feeds randomised tie-breaking in bound heuristics.
 	Seed int64
+	// Cover, when non-nil, is the shared cover-oracle the GHW searches
+	// memoize their set-cover subproblems in. Portfolio runs hand every
+	// worker the same oracle; sharing (or evicting, or disabling) the
+	// cache never changes any result, because everything memoized is
+	// computed deterministically. Ignored by treewidth searches.
+	Cover *cover.Oracle
 	// Stats, when non-nil, receives live telemetry counters (nodes
 	// expanded, prunes by rule, heuristic steps). A nil Stats costs one
 	// nil check per instrumentation point and nothing else. Attaching it

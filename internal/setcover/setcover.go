@@ -30,6 +30,14 @@ type Solver struct {
 
 	// scratch
 	uncovered *bitset.Set
+	masksUnc  *bitset.Set // greedyMasks working set
+
+	// seenEdges is epoch-stamped per-edge scratch: seenEdges[e] == seenEpoch
+	// means edge e was already visited in the current sweep. Bumping the
+	// epoch clears the whole array in O(1), so Greedy and candidates avoid
+	// rebuilding a map on every call.
+	seenEdges []uint32
+	seenEpoch uint32
 }
 
 // New returns a Solver over h's hyperedges. rng is used for random
@@ -45,7 +53,31 @@ func New(h *hypergraph.Hypergraph, rng *rand.Rand) *Solver {
 		rng:       rng,
 		coverable: coverable,
 		uncovered: bitset.New(h.NumVertices()),
+		masksUnc:  bitset.New(h.NumVertices()),
+		seenEdges: make([]uint32, h.NumEdges()),
 	}
+}
+
+// beginSweep starts a fresh visited-edge sweep, clearing the stamps in O(1)
+// (with a full wipe every 2^32 sweeps when the epoch counter wraps).
+func (s *Solver) beginSweep() {
+	s.seenEpoch++
+	if s.seenEpoch == 0 {
+		for i := range s.seenEdges {
+			s.seenEdges[i] = 0
+		}
+		s.seenEpoch = 1
+	}
+}
+
+// seen marks edge e visited in the current sweep, reporting whether it
+// already was.
+func (s *Solver) seen(e int) bool {
+	if s.seenEdges[e] == s.seenEpoch {
+		return true
+	}
+	s.seenEdges[e] = s.seenEpoch
+	return false
 }
 
 // Greedy implements the greedy set-cover heuristic (Fig. 7.2): repeatedly
@@ -64,13 +96,12 @@ func (s *Solver) Greedy(target *bitset.Set) []int {
 		// Only edges incident to some uncovered vertex can help; scan the
 		// incidence lists of the lowest uncovered vertex's edges first for
 		// the common small case, falling back to all incident edges.
-		seen := map[int]bool{}
+		s.beginSweep()
 		s.uncovered.ForEach(func(v int) bool {
 			for _, e := range s.h.IncidentEdges(v) {
-				if seen[e] {
+				if s.seen(e) {
 					continue
 				}
-				seen[e] = true
 				gain := s.h.EdgeSet(e).IntersectionCount(s.uncovered)
 				switch {
 				case gain > bestGain:
@@ -193,14 +224,13 @@ type candidate struct {
 // empty and dominated masks (mask ⊆ another mask, keeping the earlier edge
 // on exact duplicates).
 func (s *Solver) candidates(target *bitset.Set) []candidate {
-	seen := map[int]bool{}
+	s.beginSweep()
 	var cands []candidate
 	target.ForEach(func(v int) bool {
 		for _, e := range s.h.IncidentEdges(v) {
-			if seen[e] {
+			if s.seen(e) {
 				continue
 			}
-			seen[e] = true
 			m := s.h.EdgeSet(e).Clone()
 			m.IntersectWith(target)
 			if !m.Empty() {
@@ -234,7 +264,8 @@ func (s *Solver) candidates(target *bitset.Set) []candidate {
 // greedyMasks is a deterministic greedy over restricted masks used to seed
 // the exact search's upper bound.
 func (s *Solver) greedyMasks(target *bitset.Set, cands []candidate) []int {
-	uncovered := target.Clone()
+	uncovered := s.masksUnc
+	uncovered.CopyFrom(target)
 	var cover []int
 	for !uncovered.Empty() {
 		best, bestGain := -1, 0

@@ -37,6 +37,9 @@ type Stats struct {
 	gaEvaluations   atomic.Int64 // GA fitness evaluations
 	restarts        atomic.Int64 // SAIGA epoch boundaries (parameter re-orientation)
 	heurSteps       atomic.Int64 // greedy-ordering elimination steps (min-fill)
+	coverHits       atomic.Int64 // cover-oracle transposition-table hits
+	coverMisses     atomic.Int64 // cover-oracle misses (covers actually solved)
+	coverEvictions  atomic.Int64 // cover-oracle bags evicted by the memory bound
 
 	mu    sync.Mutex
 	t0    time.Time
@@ -146,6 +149,20 @@ func (s *Stats) HeurStep() {
 	}
 }
 
+// AddCover folds a cover-oracle counter snapshot into s. The oracle keeps
+// its own atomics while a run is live (it may be shared by every portfolio
+// worker) and the facade folds the totals in once per run, so per-worker
+// Stats carry zero cover counters and the run-level Stats carry the shared
+// cache's. Safe on a nil receiver.
+func (s *Stats) AddCover(hits, misses, evictions int64) {
+	if s == nil {
+		return
+	}
+	s.coverHits.Add(hits)
+	s.coverMisses.Add(misses)
+	s.coverEvictions.Add(evictions)
+}
+
 // Snapshot is a plain-integer copy of the counters, suitable for JSON
 // encoding and expvar export.
 type Snapshot struct {
@@ -159,6 +176,9 @@ type Snapshot struct {
 	GAEvaluations   int64 `json:"ga_evaluations"`
 	Restarts        int64 `json:"restarts"`
 	HeurSteps       int64 `json:"heur_steps"`
+	CoverHits       int64 `json:"cover_hits"`
+	CoverMisses     int64 `json:"cover_misses"`
+	CoverEvictions  int64 `json:"cover_evictions"`
 }
 
 // Snapshot reads the counters atomically (individually, not as a group).
@@ -178,6 +198,9 @@ func (s *Stats) Snapshot() Snapshot {
 		GAEvaluations:   s.gaEvaluations.Load(),
 		Restarts:        s.restarts.Load(),
 		HeurSteps:       s.heurSteps.Load(),
+		CoverHits:       s.coverHits.Load(),
+		CoverMisses:     s.coverMisses.Load(),
+		CoverEvictions:  s.coverEvictions.Load(),
 	}
 }
 
@@ -194,6 +217,9 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		GAEvaluations:   a.GAEvaluations + b.GAEvaluations,
 		Restarts:        a.Restarts + b.Restarts,
 		HeurSteps:       a.HeurSteps + b.HeurSteps,
+		CoverHits:       a.CoverHits + b.CoverHits,
+		CoverMisses:     a.CoverMisses + b.CoverMisses,
+		CoverEvictions:  a.CoverEvictions + b.CoverEvictions,
 	}
 }
 
@@ -213,6 +239,9 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.gaEvaluations.Add(b.GAEvaluations)
 	s.restarts.Add(b.Restarts)
 	s.heurSteps.Add(b.HeurSteps)
+	s.coverHits.Add(b.CoverHits)
+	s.coverMisses.Add(b.CoverMisses)
+	s.coverEvictions.Add(b.CoverEvictions)
 }
 
 // Incumbent is one point of the anytime trace: at Elapsed since the run

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hypertree/internal/cover"
 	"hypertree/internal/interrupt"
 	"hypertree/internal/telemetry"
 )
@@ -223,8 +224,12 @@ func betterOutcome(a, b *portfolioOutcome) bool {
 	return a.res.Exact && !b.res.Exact
 }
 
-// portfolioGHW races the configured methods for a GHW ordering of h.
-func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options) (Ordering, Result, error) {
+// portfolioGHW races the configured methods for a GHW ordering of h. All
+// workers share the caller's cover oracle: a set-cover subproblem solved
+// by any worker is a cache hit for every other, and because the oracle
+// only memoizes deterministically computed covers, sharing it never makes
+// any worker's result depend on scheduling.
+func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options, orc *cover.Oracle) (Ordering, Result, error) {
 	methods, err := opt.portfolioMethods()
 	if err != nil {
 		return nil, Result{}, err
@@ -233,7 +238,7 @@ func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options) (Ordering, Re
 	sc.phase("start")
 	defer sc.phase("done")
 	return runPortfolio(ctx, methods, opt.Jobs, sc, func(ctx context.Context, i int, ws *scope) (Ordering, Result, error) {
-		return ghwOne(ctx, h, opt.workerOptions(i, methods[i]), ws)
+		return ghwOne(ctx, h, opt.workerOptions(i, methods[i]), ws, orc)
 	})
 }
 
