@@ -12,14 +12,17 @@
 // Hypergraph files use the TU-Wien "edge(v1,…)," format; graph files use
 // DIMACS .col. `htd gen -list` shows the instance families.
 //
-// Observability: on decompose and tw, -v streams structured progress
-// (anytime incumbents, method phases, portfolio worker outcomes and a
-// final counter summary) to stderr, and -pprof ADDR serves
+// Observability: on decompose, tw, hw, and fhw, -v streams structured
+// progress (anytime incumbents, method phases, portfolio worker outcomes
+// and a final counter summary) to stderr, -pprof ADDR serves
 // net/http/pprof plus the live search counters as expvar key "htd_search"
-// on /debug/vars. With -timeout the exit status is 0 whenever a
-// decomposition (or width bound) was produced — the anytime incumbent —
-// and nonzero only when the deadline struck before any incumbent existed;
-// the message says which happened.
+// on /debug/vars, -trace FILE exports the run's structured timeline as
+// Chrome trace-event JSON (one track per portfolio worker; open it in
+// Perfetto or chrome://tracing), and -ledger FILE appends a one-line JSON
+// run record. With -timeout the exit status is 0 whenever a decomposition
+// (or width bound) was produced — the anytime incumbent — and nonzero
+// only when the deadline struck before any incumbent existed; the message
+// says which happened.
 package main
 
 import (
@@ -90,9 +93,11 @@ commands:
   solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
   query      answer a conjunctive query (-q "ans(X):-r(X,Y)") over TSV relations
 
-observability (decompose, tw):
+observability (decompose, tw, hw, fhw):
   -v            stream progress (incumbents, phases, portfolio workers) to stderr
   -pprof :6060  serve net/http/pprof + expvar search counters (/debug/vars)
+  -trace f.json write the run timeline as Chrome trace-event JSON (open in Perfetto)
+  -ledger f.jsonl append a one-line JSON run record (append-only run ledger)
 `)
 }
 
@@ -128,8 +133,7 @@ func cmdDecompose(args []string) error {
 	show := fs.Bool("print", false, "print the decomposition tree")
 	dotOut := fs.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 	tdOut := fs.String("td", "", "write the decomposition in PACE .td format to this file")
-	verbose := fs.Bool("v", false, "stream search progress (incumbents, phases, portfolio workers) to stderr")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar search counters on this address, e.g. :6060")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("decompose: need exactly one hypergraph file")
@@ -148,13 +152,15 @@ func cmdDecompose(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	of := setupObservability(*verbose, *pprofAddr)
+	s := of.start()
 	start := time.Now()
 	d, err := htd.DecomposeCtx(ctx, h, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
-		Stats: of.stats, Observer: of.obs,
+		Stats: s.stats, Observer: s.obs, Trace: s.trace,
 	})
+	wall := time.Since(start)
 	if err != nil {
+		s.finish("decompose", fs.Arg(0), m.String(), 0, htd.Result{}, err, wall)
 		// Deadline exit semantics: a context error here means no
 		// decomposition was produced at all — only then is the exit
 		// nonzero. A deadline that merely cut a search short still yields
@@ -164,7 +170,10 @@ func cmdDecompose(args []string) error {
 		}
 		return err
 	}
-	of.summarize(htd.Result{})
+	if err := s.finish("decompose", fs.Arg(0), m.String(), float64(d.GHWidth()), htd.Result{}, nil, wall); err != nil {
+		return err
+	}
+	s.summarize(htd.Result{})
 	// Compare wall clock, not ctx.Err(): the searches stop on their own
 	// deadline polls, which can beat the context timer's delivery.
 	if *timeout > 0 && time.Since(start) >= *timeout {
@@ -206,6 +215,7 @@ func cmdHypertreeWidth(args []string) error {
 	fs := flag.NewFlagSet("hw", flag.ExitOnError)
 	maxK := fs.Int("maxk", 0, "largest width to try (0 = no cap)")
 	show := fs.Bool("print", false, "print the decomposition tree")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("hw: need exactly one hypergraph file")
@@ -214,13 +224,20 @@ func cmdHypertreeWidth(args []string) error {
 	if err != nil {
 		return err
 	}
+	s := of.start()
 	start := time.Now()
-	w, d := htd.HypertreeWidth(h, *maxK)
+	w, d := htd.HypertreeWidthTraced(h, *maxK, s.trace)
+	wall := time.Since(start)
+	res := htd.Result{Width: w, LowerBound: w, Exact: w >= 0}
+	if err := s.finish("hw", fs.Arg(0), "detk", float64(w), res, nil, wall); err != nil {
+		return err
+	}
+	s.summarize(res)
 	if w < 0 {
-		fmt.Printf("hypertree width exceeds %d (%s)\n", *maxK, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("hypertree width exceeds %d (%s)\n", *maxK, wall.Round(time.Millisecond))
 		return nil
 	}
-	fmt.Printf("hypertree width: %d (%s)\n", w, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("hypertree width: %d (%s)\n", w, wall.Round(time.Millisecond))
 	if *show {
 		fmt.Print(d.String())
 	}
@@ -230,6 +247,7 @@ func cmdHypertreeWidth(args []string) error {
 func cmdFractional(args []string) error {
 	fs := flag.NewFlagSet("fhw", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("fhw: need exactly one hypergraph file")
@@ -238,9 +256,18 @@ func cmdFractional(args []string) error {
 	if err != nil {
 		return err
 	}
+	s := of.start()
+	// fhw has no engine-level instrumentation (one LP-ish computation, no
+	// search loop), so the span lives at the command level.
+	s.trace.Begin(0, "fhw")
 	start := time.Now()
 	w, _ := htd.FHWUpperBound(h, *seed)
-	fmt.Printf("fractional hypertree width ≤ %.4f (%s)\n", w, time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	s.trace.End(0, "fhw")
+	if err := s.finish("fhw", fs.Arg(0), "minfill+localsearch", w, htd.Result{}, nil, wall); err != nil {
+		return err
+	}
+	fmt.Printf("fractional hypertree width ≤ %.4f (%s)\n", w, wall.Round(time.Millisecond))
 	return nil
 }
 
@@ -251,8 +278,7 @@ func cmdTreewidth(args []string) error {
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms or 10s (0 = none); on expiry the best bounds found so far are returned")
 	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
-	verbose := fs.Bool("v", false, "stream search progress (incumbents, phases, portfolio workers) to stderr")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar search counters on this address, e.g. :6060")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("tw: need exactly one DIMACS file")
@@ -271,13 +297,15 @@ func cmdTreewidth(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	of := setupObservability(*verbose, *pprofAddr)
+	s := of.start()
 	start := time.Now()
 	res, err := htd.TreewidthCtx(ctx, g, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
-		Stats: of.stats, Observer: of.obs,
+		Stats: s.stats, Observer: s.obs, Trace: s.trace,
 	})
+	wall := time.Since(start)
 	if err != nil {
+		s.finish("tw", fs.Arg(0), m.String(), 0, htd.Result{}, err, wall)
 		// Nonzero exit only when the deadline left us with no incumbent at
 		// all; a cut-short search reports its anytime bounds below.
 		if isCtxErr(err) {
@@ -285,7 +313,10 @@ func cmdTreewidth(args []string) error {
 		}
 		return err
 	}
-	of.summarize(res)
+	if err := s.finish("tw", fs.Arg(0), m.String(), float64(res.Width), res, nil, wall); err != nil {
+		return err
+	}
+	s.summarize(res)
 	// Wall clock, not ctx.Err(): see cmdDecompose.
 	if *timeout > 0 && !res.Exact && time.Since(start) >= *timeout {
 		fmt.Fprintln(os.Stderr, "htd: deadline expired; reporting the best bounds found before it")

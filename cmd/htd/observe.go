@@ -1,53 +1,149 @@
-// Observability wiring for the decompose and tw subcommands: -v streams
-// structured progress to stderr via log/slog, -pprof serves net/http/pprof
-// plus the live search counters over expvar.
+// Observability wiring shared by the decompose, tw, hw, and fhw
+// subcommands: -v streams structured progress to stderr via log/slog,
+// -pprof serves net/http/pprof plus the live search counters over expvar,
+// -trace exports the run's structured timeline as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing), and -ledger appends one JSON
+// line per run to a script-friendly run ledger.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"time"
 
 	"hypertree"
 	"hypertree/internal/telemetry"
 )
 
-// observeFlags is the result of wiring -v / -pprof: the Stats/Observer
-// pair to attach to htd.Options (nil when both flags are off) and the
-// logger for the final summary (nil without -v).
-type observeFlags struct {
-	stats  *htd.Stats
-	obs    *htd.Observer
-	logger *slog.Logger
+// obsFlags holds the unified observability flag values; register them on
+// any subcommand's FlagSet with addObsFlags.
+type obsFlags struct {
+	verbose    bool
+	pprofAddr  string
+	tracePath  string
+	ledgerPath string
 }
 
-// setupObservability starts the optional debug server and builds the
-// progress observer. The server goroutine is intentionally left running
-// for the life of the process so post-run inspection works.
-func setupObservability(verbose bool, pprofAddr string) observeFlags {
-	var of observeFlags
-	if !verbose && pprofAddr == "" {
-		return of
+// addObsFlags registers -v, -pprof, -trace, and -ledger on fs. Every
+// subcommand that runs a decomposition calls this, so the flags behave
+// identically across decompose, tw, hw, and fhw.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	var of obsFlags
+	fs.BoolVar(&of.verbose, "v", false,
+		"stream search progress (incumbents, phases, portfolio workers) to stderr")
+	fs.StringVar(&of.pprofAddr, "pprof", "",
+		"serve net/http/pprof and expvar search counters on this address, e.g. :6060")
+	fs.StringVar(&of.tracePath, "trace", "",
+		"write the run's structured timeline as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	fs.StringVar(&of.ledgerPath, "ledger", "",
+		"append a one-line JSON run record to this file (run ledger)")
+	return &of
+}
+
+// obsSession is the live observability state of one run: the sinks to
+// attach to htd.Options plus the exporters to flush at the end. All fields
+// may be nil (every consumer is nil-safe), so a run with no observability
+// flags pays nothing.
+type obsSession struct {
+	flags   *obsFlags
+	stats   *htd.Stats
+	obs     *htd.Observer
+	trace   *htd.Trace
+	logger  *slog.Logger
+	sampler *telemetry.MemSampler
+}
+
+// start builds the session: debug server, progress observer, event ring,
+// and the background MemStats sampler (attached whenever any sink exists,
+// so traces carry a heap counter track and ledger entries carry memory
+// telemetry). The pprof server goroutine intentionally outlives the run so
+// post-run inspection works.
+func (of *obsFlags) start() *obsSession {
+	s := &obsSession{flags: of}
+	if !of.verbose && of.pprofAddr == "" && of.tracePath == "" && of.ledgerPath == "" {
+		return s
 	}
-	of.stats = new(htd.Stats)
-	if verbose {
-		of.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
-		of.obs = progressObserver(of.logger)
+	s.stats = new(htd.Stats)
+	if of.verbose {
+		s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		s.obs = progressObserver(s.logger)
 	}
-	if pprofAddr != "" {
-		telemetry.PublishExpvar("htd_search", of.stats)
+	if of.tracePath != "" {
+		s.trace = htd.NewTrace(0)
+	}
+	if of.pprofAddr != "" {
+		telemetry.PublishExpvar("htd_search", s.stats)
 		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(of.pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "htd: pprof server:", err)
 			}
 		}()
 		fmt.Fprintf(os.Stderr,
 			"htd: serving pprof on http://%s/debug/pprof/ and search counters on /debug/vars (key htd_search)\n",
-			pprofAddr)
+			of.pprofAddr)
 	}
-	return of
+	s.sampler = telemetry.StartMemSampler(s.stats, s.trace, 0)
+	return s
+}
+
+// ledgerEntry is one line of the append-only JSONL run ledger.
+type ledgerEntry struct {
+	Time       string            `json:"time"`
+	Cmd        string            `json:"cmd"`
+	Instance   string            `json:"instance"`
+	Method     string            `json:"method,omitempty"`
+	Width      float64           `json:"width"`
+	LowerBound int               `json:"lower_bound,omitempty"`
+	Exact      bool              `json:"exact"`
+	WallMs     float64           `json:"wall_ms"`
+	Winner     string            `json:"winner,omitempty"`
+	Counters   htd.StatsSnapshot `json:"counters"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// finish stops the sampler and flushes the exporters: the Chrome trace to
+// -trace and one ledger line to -ledger. Call exactly once per run, after
+// the decomposition returns (also on error, so failed runs are ledgered).
+func (s *obsSession) finish(cmd, instance, method string, width float64, res htd.Result, runErr error, wall time.Duration) error {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	if s.flags.tracePath != "" {
+		f, err := os.Create(s.flags.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := s.trace.WriteChrome(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if dropped := s.trace.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "htd: trace ring wrapped, oldest %d events dropped\n", dropped)
+		}
+	}
+	if s.flags.ledgerPath != "" {
+		entry := ledgerEntry{
+			Time: time.Now().UTC().Format(time.RFC3339), Cmd: cmd,
+			Instance: instance, Method: method, Width: width,
+			LowerBound: res.LowerBound, Exact: res.Exact,
+			WallMs: float64(wall.Microseconds()) / 1e3,
+			Winner: res.Winner, Counters: s.stats.Snapshot(),
+		}
+		if runErr != nil {
+			entry.Error = runErr.Error()
+		}
+		if err := telemetry.AppendJSONL(s.flags.ledgerPath, entry); err != nil {
+			return fmt.Errorf("ledger: %w", err)
+		}
+	}
+	return nil
 }
 
 // progressObserver renders telemetry events as slog lines on stderr.
@@ -72,11 +168,11 @@ func progressObserver(logger *slog.Logger) *htd.Observer {
 }
 
 // summarize logs the final counter totals and provenance after a run.
-func (of observeFlags) summarize(res htd.Result) {
-	if of.logger == nil {
+func (s *obsSession) summarize(res htd.Result) {
+	if s.logger == nil {
 		return
 	}
-	snap := of.stats.Snapshot()
+	snap := s.stats.Snapshot()
 	attrs := []any{
 		"nodes", snap.Nodes,
 		"prune_simplicial", snap.PruneSimplicial,
@@ -91,6 +187,8 @@ func (of observeFlags) summarize(res htd.Result) {
 		"cover_hits", snap.CoverHits,
 		"cover_misses", snap.CoverMisses,
 		"cover_evictions", snap.CoverEvictions,
+		"heap_high_water", snap.HeapHighWaterBytes,
+		"total_alloc", snap.TotalAllocBytes,
 	}
 	if res.Winner != "" {
 		attrs = append(attrs, "winner", res.Winner)
@@ -98,5 +196,5 @@ func (of observeFlags) summarize(res htd.Result) {
 	if res.LowerBoundBy != "" {
 		attrs = append(attrs, "lower_bound_by", res.LowerBoundBy)
 	}
-	of.logger.Info("search done", attrs...)
+	s.logger.Info("search done", attrs...)
 }

@@ -1,20 +1,32 @@
 // Command htdbench regenerates the evaluation tables of the thesis
-// (Tables 5.1–9.2) and, with -json, runs the machine-readable benchmark
-// harness over the same instance catalog.
+// (Tables 5.1–9.2), runs the machine-readable benchmark harness with
+// -json, and gates two harness reports against each other with -compare.
 //
 //	htdbench                 # all tables, scaled down
 //	htdbench -table 5.1      # one table
 //	htdbench -table 7.1 -full -runs 10 -seed 3
 //	htdbench -json           # BENCH_portfolio.json: per-(instance, method)
-//	                         # width, bounds, wall time, node counts and the
-//	                         # anytime incumbent curve
+//	                         # width, bounds, wall time, node counts, memory
+//	                         # telemetry and the anytime incumbent curve
 //	htdbench -json -methods bb,astar,portfolio -timeout 5s -o -   # to stdout
+//	htdbench -json -instances '^(myciel3|adder_10)$'              # subset
+//	htdbench -compare BENCH_portfolio.json new.json               # perf gate
+//	htdbench -compare -max-wall 2 -max-heap 1.5 base.json new.json
+//
+// -compare diffs every (instance, kind, method) record of the two reports:
+// any width regression (larger width, lost exactness, weaker lower bound,
+// or a new error) is always a violation; wall time and heap high-water
+// violate only beyond their -max-* factors over a clamped baseline floor.
+// Exit status: 0 when the gate passes, 1 on violations, 2 on usage or I/O
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -33,12 +45,34 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
 	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio")
 	noCoverCache := flag.Bool("nocovercache", false, "disable the shared cover-oracle cache in GHW runs (for measuring cache effectiveness)")
+	instances := flag.String("instances", "", "regexp filter on catalog instance names for -json (empty = all)")
+	compare := flag.Bool("compare", false, "compare two -json reports: htdbench -compare baseline.json new.json")
+	maxWall := flag.Float64("max-wall", 2.0, "-compare: fail when wall time exceeds this factor of the baseline (0 = off)")
+	maxHeap := flag.Float64("max-heap", 1.5, "-compare: fail when heap high-water exceeds this factor of the baseline (0 = off)")
+	maxNodes := flag.Float64("max-nodes", 0, "-compare: fail when node count exceeds this factor of the baseline (0 = off; portfolio node totals are scheduling-dependent)")
+	minWallMs := flag.Float64("min-wall-ms", 250, "-compare: clamp wall baselines up to this floor before the factor applies")
+	minHeapMB := flag.Int64("min-heap-mb", 64, "-compare: clamp heap baselines up to this floor (MiB) before the factor applies")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: htdbench -compare baseline.json new.json")
+			os.Exit(2)
+		}
+		th := bench.Thresholds{
+			MaxWallFactor:  *maxWall,
+			MaxHeapFactor:  *maxHeap,
+			MaxNodesFactor: *maxNodes,
+			MinWallMs:      *minWallMs,
+			MinHeapBytes:   *minHeapMB << 20,
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), th))
+	}
+
 	if *jsonOut {
-		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache); err != nil {
+		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *instances); err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		return
 	}
@@ -53,7 +87,7 @@ func main() {
 		t, err := exp.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		fmt.Print(t.Render())
 		fmt.Printf("(generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
@@ -61,7 +95,7 @@ func main() {
 }
 
 // runJSON executes the bench harness and writes the report.
-func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool) error {
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool, instances string) error {
 	var ms []htd.Method
 	for _, name := range strings.Split(methodList, ",") {
 		name = strings.TrimSpace(name)
@@ -74,12 +108,20 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 		}
 		ms = append(ms, m)
 	}
+	var filter *regexp.Regexp
+	if instances != "" {
+		var err error
+		if filter, err = regexp.Compile(instances); err != nil {
+			return fmt.Errorf("-instances: %w", err)
+		}
+	}
 	rep := bench.Run(bench.Config{
 		Full:              full,
 		Seed:              seed,
 		Timeout:           timeout,
 		Methods:           ms,
 		DisableCoverCache: noCoverCache,
+		Instances:         filter,
 		Log:               os.Stderr,
 	})
 	if out == "-" {
@@ -98,4 +140,37 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", out, len(rep.Records))
 	return nil
+}
+
+// runCompare loads two reports, diffs them under th, renders the summary
+// and returns the process exit code (0 pass, 1 violations, 2 I/O error).
+func runCompare(basePath, curPath string, th bench.Thresholds) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htdbench:", err)
+		return 2
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htdbench:", err)
+		return 2
+	}
+	res := bench.Compare(base, cur, th)
+	res.Render(os.Stdout)
+	if res.Violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loadReport(path string) (bench.Report, error) {
+	var rep bench.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }

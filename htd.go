@@ -224,6 +224,14 @@ type Options struct {
 	// use and cheap. Attaching an Observer never changes the computed
 	// decomposition for a fixed Seed.
 	Observer *Observer
+	// Trace, when non-nil, records a structured timeline of the run into a
+	// bounded event ring: method phase spans, sampled search-node batches,
+	// GA generation ticks, cover-cache pulses, and incumbent instants —
+	// one track per portfolio worker. Export it with Trace.WriteChrome
+	// (Perfetto / chrome://tracing). Like Stats and Observer, tracing is
+	// result-invisible: a nil Trace costs one nil check per point and
+	// attaching one never changes the decomposition for a fixed Seed.
+	Trace *Trace
 }
 
 func (o Options) gaConfig(n int) ga.Config {
@@ -311,7 +319,7 @@ func ghwOrderingOracle(ctx context.Context, h *Hypergraph, opt Options) (order.O
 	if h.NumVertices() == 0 {
 		return nil, Result{Exact: true, Ordering: []int{}}, nil, nil
 	}
-	orc := cover.New(h, cover.Options{Disabled: opt.DisableCoverCache})
+	orc := cover.New(h, cover.Options{Disabled: opt.DisableCoverCache, Trace: opt.Trace})
 	if opt.Method == MethodPortfolio {
 		o, res, err := portfolioGHW(ctx, h, opt, orc)
 		return o, res, orc, err
@@ -357,12 +365,16 @@ func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope, orc *cov
 		cfg := opt.gaConfig(h.NumVertices())
 		cfg.Stats = sc.engineStats()
 		cfg.OnIncumbent = sc.incumbentHook()
+		cfg.Trace = sc.traceRef()
+		cfg.Track = sc.trackID()
 		r := ga.GHWCtx(ctx, h, cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
 		cfg := opt.saigaConfig()
 		cfg.Stats = sc.engineStats()
 		cfg.OnIncumbent = sc.incumbentHook()
+		cfg.Trace = sc.traceRef()
+		cfg.Track = sc.trackID()
 		r := ga.SAIGAGHWCtx(ctx, h, cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
@@ -429,12 +441,16 @@ func twOne(ctx context.Context, g *Graph, opt Options, sc *scope) (Result, error
 		cfg := opt.gaConfig(g.NumVertices())
 		cfg.Stats = sc.engineStats()
 		cfg.OnIncumbent = sc.incumbentHook()
+		cfg.Trace = sc.traceRef()
+		cfg.Track = sc.trackID()
 		r := ga.TreewidthCtx(ctx, hypergraph.FromGraph(g), cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodSAIGA:
 		cfg := opt.saigaConfig()
 		cfg.Stats = sc.engineStats()
 		cfg.OnIncumbent = sc.incumbentHook()
+		cfg.Trace = sc.traceRef()
+		cfg.Track = sc.trackID()
 		r := ga.SAIGATreewidthCtx(ctx, hypergraph.FromGraph(g), cfg)
 		res = Result{Width: r.Width, Ordering: r.Ordering}
 	case MethodBB:
@@ -535,6 +551,13 @@ func ReadHypergraphFile(r io.Reader) (*Hypergraph, error) {
 // no cap. It returns width −1 when maxK is exceeded.
 func HypertreeWidth(h *Hypergraph, maxK int) (int, *Decomposition) {
 	return detk.Width(h, maxK, detk.Options{})
+}
+
+// HypertreeWidthTraced is HypertreeWidth with a structured trace attached:
+// det-k-decomp emits one span per width-k attempt and sampled component
+// recursion instants into tr (nil tr behaves exactly like HypertreeWidth).
+func HypertreeWidthTraced(h *Hypergraph, maxK int, tr *Trace) (int, *Decomposition) {
+	return detk.Width(h, maxK, detk.Options{Trace: tr})
 }
 
 // HypertreeDecompose returns a hypertree decomposition of width ≤ k, or

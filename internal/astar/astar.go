@@ -28,6 +28,7 @@ import (
 	"hypertree/internal/interrupt"
 	"hypertree/internal/reduce"
 	"hypertree/internal/search"
+	"hypertree/internal/telemetry"
 )
 
 // Treewidth runs A*-tw on g.
@@ -147,6 +148,14 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 		s := heap.Pop(&q).(*state)
 		nodes++
 		opt.Stats.Node()
+		// Sampled trace pulse: one instant per 1024 expansions shows the
+		// f-frontier climbing without touching the hot loop.
+		if opt.Trace != nil && nodes&1023 == 0 {
+			opt.Trace.Instant(opt.Track, "astar.batch",
+				telemetry.Arg{Key: "nodes", Val: nodes},
+				telemetry.Arg{Key: "ub", Val: int64(ub)},
+				telemetry.Arg{Key: "best_f", Val: int64(bestF)})
+		}
 		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
 			return search.Result{
 				Width: ub, LowerBound: min(bestF, ub), Exact: false,

@@ -26,6 +26,7 @@ import (
 	"hypertree/internal/interrupt"
 	"hypertree/internal/reduce"
 	"hypertree/internal/search"
+	"hypertree/internal/telemetry"
 )
 
 // Treewidth runs BB-tw on g.
@@ -142,6 +143,14 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 	}
 
 	s.opt.Stats.Node()
+	// Sampled trace pulse: one instant per 1024 expansions keeps the trace
+	// out of the inner loop while still showing expansion rate over time.
+	if s.opt.Trace != nil && s.nodes&1023 == 0 {
+		s.opt.Trace.Instant(s.opt.Track, "bb.batch",
+			telemetry.Arg{Key: "nodes", Val: s.nodes},
+			telemetry.Arg{Key: "ub", Val: int64(s.ub)},
+			telemetry.Arg{Key: "depth", Val: int64(len(s.prefix))})
+	}
 	rem := s.g.Remaining()
 	if rem == 0 {
 		if gc < s.ub {

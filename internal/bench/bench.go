@@ -11,10 +11,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"time"
 
 	"hypertree"
 	"hypertree/internal/exp"
+	"hypertree/internal/telemetry"
 )
 
 // CurvePoint is one improvement of the anytime incumbent: the run had a
@@ -44,9 +46,17 @@ type Record struct {
 	Counters     htd.StatsSnapshot `json:"counters"`
 	// CoverHitRate is hits / (hits + misses) over the run's cover-oracle
 	// lookups (0 when the run made none, or the cache was disabled).
-	CoverHitRate float64      `json:"cover_hit_rate"`
-	Anytime      []CurvePoint `json:"anytime"`
-	Error        string       `json:"error,omitempty"`
+	CoverHitRate float64 `json:"cover_hit_rate"`
+	// HeapHighWaterBytes is the peak sampled heap allocation during the
+	// run; TotalAllocBytes and GCPauseTotalMs are cumulative over the run.
+	// All three come from the background MemStats sampler the harness
+	// attaches per record (zero in reports from before the sampler existed;
+	// the compare gate skips heap checks for such baselines).
+	HeapHighWaterBytes int64        `json:"heap_high_water_bytes"`
+	TotalAllocBytes    int64        `json:"total_alloc_bytes"`
+	GCPauseTotalMs     float64      `json:"gc_pause_total_ms"`
+	Anytime            []CurvePoint `json:"anytime"`
+	Error              string       `json:"error,omitempty"`
 }
 
 // Report is the top-level document of a BENCH_*.json file.
@@ -72,8 +82,17 @@ type Config struct {
 	// DisableCoverCache turns off the shared cover-oracle cache in every
 	// GHW run, for measuring cache effectiveness (htdbench -nocovercache).
 	DisableCoverCache bool
+	// Instances, when non-nil, restricts the run to catalog instances
+	// whose name matches (htdbench -instances) — how the CI perf gate
+	// runs a fast pinned subset.
+	Instances *regexp.Regexp
 	// Log, when non-nil, receives one progress line per record.
 	Log io.Writer
+}
+
+// keep reports whether the instance name passes the Instances filter.
+func (c Config) keep(name string) bool {
+	return c.Instances == nil || c.Instances.MatchString(name)
 }
 
 // Run executes the harness sequentially (one record at a time, so wall
@@ -97,6 +116,9 @@ func Run(cfg Config) Report {
 	}
 
 	for _, inst := range exp.Graphs(cfg.Full) {
+		if !cfg.keep(inst.Name) {
+			continue
+		}
 		g := inst.Build()
 		for _, m := range cfg.Methods {
 			rec := Record{
@@ -105,16 +127,22 @@ func Run(cfg Config) Report {
 				Method: m.String(), Seed: cfg.Seed,
 			}
 			st := new(htd.Stats)
+			ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 			start := time.Now()
 			res, err := htd.TreewidthCtx(ctx, g, htd.Options{Method: m, Seed: cfg.Seed, Stats: st})
 			cancel()
-			fill(&rec, res, err, time.Since(start), st)
+			wall := time.Since(start)
+			ms.Stop()
+			fill(&rec, res, err, wall, st)
 			rep.Records = append(rep.Records, rec)
 			progress(cfg.Log, rec)
 		}
 	}
 	for _, inst := range exp.Hypergraphs(cfg.Full) {
+		if !cfg.keep(inst.Name) {
+			continue
+		}
 		h := inst.Build()
 		for _, m := range cfg.Methods {
 			rec := Record{
@@ -123,6 +151,7 @@ func Run(cfg Config) Report {
 				Method: m.String(), Seed: cfg.Seed,
 			}
 			st := new(htd.Stats)
+			ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 			start := time.Now()
 			res, err := htd.GHWCtx(ctx, h, htd.Options{
@@ -130,13 +159,20 @@ func Run(cfg Config) Report {
 				DisableCoverCache: cfg.DisableCoverCache,
 			})
 			cancel()
-			fill(&rec, res, err, time.Since(start), st)
+			wall := time.Since(start)
+			ms.Stop()
+			fill(&rec, res, err, wall, st)
 			rep.Records = append(rep.Records, rec)
 			progress(cfg.Log, rec)
 		}
 	}
 	return rep
 }
+
+// memSampleEvery is the per-record MemStats cadence: finer than the
+// library default so even ~100ms records get a few samples (Stop always
+// takes a final one, so every record sees at least its peak-at-exit).
+const memSampleEvery = 5 * time.Millisecond
 
 // fill copies one run's outcome and telemetry into the record.
 func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.Stats) {
@@ -146,6 +182,9 @@ func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.St
 	if total := rec.Counters.CoverHits + rec.Counters.CoverMisses; total > 0 {
 		rec.CoverHitRate = float64(rec.Counters.CoverHits) / float64(total)
 	}
+	rec.HeapHighWaterBytes = rec.Counters.HeapHighWaterBytes
+	rec.TotalAllocBytes = rec.Counters.TotalAllocBytes
+	rec.GCPauseTotalMs = float64(rec.Counters.GCPauseTotalNs) / 1e6
 	for _, inc := range st.Trace() {
 		rec.Anytime = append(rec.Anytime, CurvePoint{
 			Ms:     float64(inc.Elapsed.Microseconds()) / 1e3,

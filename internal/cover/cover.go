@@ -31,6 +31,7 @@ import (
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/setcover"
+	"hypertree/internal/telemetry"
 )
 
 // numShards stripes the transposition table; queries lock only their
@@ -53,6 +54,13 @@ type Options struct {
 	// shard exceeds its share, half of it is evicted (random map order —
 	// harmless, since recomputation is deterministic).
 	MaxEntries int
+	// Trace, when non-nil, receives pulsed cache events on track 0 (the
+	// oracle is a run-level shared structure, not a per-worker one):
+	// "cover.pulse" instants on the first miss and then every 256th miss /
+	// 4096th hit, and a "cover.evict" instant per eviction sweep. The
+	// counters are read with atomics; tracing never takes the shard locks
+	// longer and never changes any query result.
+	Trace *telemetry.Trace
 }
 
 // CounterSnapshot is a plain copy of an oracle's (or memo's) counters.
@@ -78,6 +86,7 @@ type Oracle struct {
 	coverable *bitset.Set // vertices occurring in at least one hyperedge
 	disabled  bool
 	perShard  int
+	tr        *telemetry.Trace
 	shards    [numShards]coverShard
 
 	solvers sync.Pool // *setcover.Solver with deterministic tie-breaking
@@ -124,6 +133,7 @@ func New(h *hypergraph.Hypergraph, opt Options) *Oracle {
 		coverable: coverable,
 		disabled:  opt.Disabled,
 		perShard:  perShard,
+		tr:        opt.Trace,
 	}
 	o.solvers.New = func() any { return setcover.New(h, nil) }
 	o.scratch.New = func() any { return bitset.New(h.NumVertices()) }
@@ -202,7 +212,9 @@ func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
 				*out = append([]int(nil), cov...)
 			}
 			shard.mu.Unlock()
-			o.hits.Add(1)
+			if n := o.hits.Add(1); o.tr != nil && n&4095 == 1 {
+				o.pulse()
+			}
 			return len(cov)
 		}
 	}
@@ -211,7 +223,9 @@ func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
 	// Miss: solve outside the lock so other queries proceed. Two workers
 	// may race to the same bag; both compute the same deterministic answer
 	// and the second insert below is a no-op.
-	o.misses.Add(1)
+	if n := o.misses.Add(1); o.tr != nil && n&255 == 1 {
+		o.pulse() // n==1 on the very first miss: a traced run always pulses
+	}
 	cov := o.solve(bag, exact)
 	if out != nil {
 		*out = append([]int(nil), cov...)
@@ -227,12 +241,26 @@ func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
 		shard.m[hash] = e
 		shard.n++
 		if shard.n > o.perShard {
-			o.evictions.Add(int64(shard.evictHalf()))
+			dropped := int64(shard.evictHalf())
+			o.evictions.Add(dropped)
+			if o.tr != nil {
+				o.tr.Instant(0, "cover.evict",
+					telemetry.Arg{Key: "dropped", Val: dropped})
+			}
 		}
 	}
 	e.store(exact, cov)
 	shard.mu.Unlock()
 	return len(cov)
+}
+
+// pulse emits a "cover.pulse" instant with the current counter values.
+// Called on sampled hit/miss counts; o.tr is non-nil at every call site.
+func (o *Oracle) pulse() {
+	o.tr.Instant(0, "cover.pulse",
+		telemetry.Arg{Key: "hits", Val: o.hits.Load()},
+		telemetry.Arg{Key: "misses", Val: o.misses.Load()},
+		telemetry.Arg{Key: "evictions", Val: o.evictions.Load()})
 }
 
 // solve computes the cover with a pooled deterministic solver.

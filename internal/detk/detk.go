@@ -18,12 +18,20 @@ import (
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/telemetry"
 )
 
 // Options bounds the search.
 type Options struct {
 	// MaxGuesses bounds the number of separator guesses (0 = unbounded).
 	MaxGuesses int64
+	// Trace, when non-nil, receives sampled "detk.component" instants on
+	// the Track timeline: every component recursion at depth ≤ 1 and every
+	// 64th deeper one, annotated with depth, component size, and connector
+	// size. Attaching a trace never changes the decomposition.
+	Trace *telemetry.Trace
+	// Track is the trace timeline the events are emitted on.
+	Track int
 }
 
 // Decompose returns a hypertree decomposition of h of width ≤ k, or
@@ -43,7 +51,20 @@ func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposit
 	for e := 0; e < h.NumEdges(); e++ {
 		allEdges.Add(e)
 	}
-	root := s.decompose(allEdges, bitset.New(h.NumVertices()))
+	if opt.Trace != nil {
+		opt.Trace.Begin(opt.Track, "detk.decompose",
+			telemetry.Arg{Key: "k", Val: int64(k)})
+	}
+	root := s.decompose(allEdges, bitset.New(h.NumVertices()), 0)
+	if opt.Trace != nil {
+		found := int64(0)
+		if root != nil {
+			found = 1
+		}
+		opt.Trace.End(opt.Track, "detk.decompose",
+			telemetry.Arg{Key: "found", Val: found},
+			telemetry.Arg{Key: "guesses", Val: s.guesses})
+	}
 	if root == nil {
 		return nil, false
 	}
@@ -91,13 +112,24 @@ type solver struct {
 	// k-dependent.
 	memo    *cover.FailMemo
 	guesses int64
+	calls   int64 // component recursions, for trace sampling
 	opt     Options
 }
 
 // decompose finds a hypertree for the hyperedges in comp whose root node
 // covers conn (the connector vertices shared with the parent separator).
-// Returns nil on failure.
-func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
+// depth is the recursion depth, used only for trace sampling. Returns nil
+// on failure.
+func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set, depth int) *node {
+	// Shallow recursions (the interesting decomposition structure) always
+	// trace; deep ones are sampled so a thrashing search cannot flood the
+	// ring.
+	if s.calls++; s.opt.Trace != nil && (depth <= 1 || s.calls&63 == 0) {
+		s.opt.Trace.Instant(s.opt.Track, "detk.component",
+			telemetry.Arg{Key: "depth", Val: int64(depth)},
+			telemetry.Arg{Key: "edges", Val: int64(comp.Len())},
+			telemetry.Arg{Key: "conn", Val: int64(conn.Len())})
+	}
 	if s.memo.Failed(comp, conn) {
 		return nil
 	}
@@ -124,7 +156,7 @@ func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
 	candidates := s.candidateEdges(comp, conn, compVars)
 
 	var lambda []int
-	res := s.searchSeparator(comp, conn, compVars, candidates, 0, lambda)
+	res := s.searchSeparator(comp, conn, compVars, candidates, 0, lambda, depth)
 	if res == nil {
 		s.memo.MarkFailed(comp, conn)
 	}
@@ -134,7 +166,7 @@ func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set) *node {
 // searchSeparator enumerates λ ⊆ candidates with |λ| ≤ k covering conn,
 // requiring each chosen edge to contribute (cover a yet-uncovered conn
 // vertex or intersect the component).
-func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []int, from int, lambda []int) *node {
+func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []int, from int, lambda []int, depth int) *node {
 	if s.opt.MaxGuesses > 0 && s.guesses > s.opt.MaxGuesses {
 		return nil
 	}
@@ -142,7 +174,7 @@ func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []
 		s.guesses++
 		sepVars := s.varsOfEdges(lambda)
 		if conn.SubsetOf(sepVars) {
-			if n := s.trySeparator(comp, conn, compVars, lambda, sepVars); n != nil {
+			if n := s.trySeparator(comp, conn, compVars, lambda, sepVars, depth); n != nil {
 				return n
 			}
 		}
@@ -158,7 +190,7 @@ func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []
 		if !es.Intersects(compVars) && !es.Intersects(conn) {
 			continue
 		}
-		if n := s.searchSeparator(comp, conn, compVars, candidates, i+1, append(lambda, e)); n != nil {
+		if n := s.searchSeparator(comp, conn, compVars, candidates, i+1, append(lambda, e), depth); n != nil {
 			return n
 		}
 	}
@@ -166,7 +198,7 @@ func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []
 }
 
 // trySeparator splits comp by the separator's variables and recurses.
-func (s *solver) trySeparator(comp, conn, compVars *bitset.Set, lambda []int, sepVars *bitset.Set) *node {
+func (s *solver) trySeparator(comp, conn, compVars *bitset.Set, lambda []int, sepVars *bitset.Set, depth int) *node {
 	// χ(p) = var(λ) ∩ (compVars ∪ conn): the descendant condition holds
 	// because variables of λ outside the current component never reappear
 	// below p.
@@ -195,7 +227,7 @@ func (s *solver) trySeparator(comp, conn, compVars *bitset.Set, lambda []int, se
 	for _, c := range comps {
 		childConn := c.vars.Clone()
 		childConn.IntersectWith(chi)
-		child := s.decompose(c.edges, childConn)
+		child := s.decompose(c.edges, childConn, depth+1)
 		if child == nil {
 			return nil
 		}

@@ -43,6 +43,13 @@ type Config struct {
 	// triangulation) the value is truncated toward zero. Called
 	// synchronously on the evolution path; must be cheap and non-blocking.
 	OnIncumbent func(width int)
+	// Trace, when non-nil, receives one "ga.generation" instant per
+	// completed generation on the Track timeline. Nil costs one nil check;
+	// attaching never changes the evolution for a fixed Seed.
+	Trace *telemetry.Trace
+	// Track is the trace timeline this run emits on (worker slot+1 in a
+	// portfolio, 0 otherwise).
+	Track int
 }
 
 // DefaultConfig returns the parameter set the thesis settled on after the
@@ -273,6 +280,12 @@ func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight 
 		}
 
 		cfg.Stats.GAGeneration()
+		if cfg.Trace != nil {
+			cfg.Trace.Instant(cfg.Track, "ga.generation",
+				telemetry.Arg{Key: "gen", Val: int64(gen)},
+				telemetry.Arg{Key: "best", Val: int64(bestW)},
+				telemetry.Arg{Key: "evals", Val: evals})
+		}
 
 		// Elitism: reinject the global best over the worst individual.
 		if cfg.Elitism {

@@ -41,6 +41,13 @@ type SAIGAConfig struct {
 	// initialization and at epoch boundaries. Must be cheap and
 	// non-blocking.
 	OnIncumbent func(width int)
+	// Trace, when non-nil, receives one "saiga.epoch" instant per epoch
+	// boundary on the Track timeline (emitted from the coordinator, never
+	// from island goroutines). Attaching it never changes the evolution
+	// for a fixed Seed.
+	Trace *telemetry.Trace
+	// Track is the trace timeline this run emits on.
+	Track int
 }
 
 // DefaultSAIGAConfig returns a modest default: 4 islands × 250 individuals.
@@ -271,6 +278,11 @@ func saiga(ctx context.Context, n int, cfg SAIGAConfig, mkEval func(i int) func(
 			isl.par = nextParams[i]
 		}
 		cfg.Stats.Restart()
+		if cfg.Trace != nil {
+			cfg.Trace.Instant(cfg.Track, "saiga.epoch",
+				telemetry.Arg{Key: "epoch", Val: int64(epoch)},
+				telemetry.Arg{Key: "best", Val: int64(globalBest(islands))})
+		}
 		noteGlobal()
 
 		history = append(history, globalBest(islands))

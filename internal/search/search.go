@@ -251,6 +251,14 @@ type Options struct {
 	// It is called synchronously on the search path, so it must be cheap
 	// and must not block.
 	OnIncumbent func(width int)
+	// Trace, when non-nil, receives sampled structured events (batched
+	// node pulses every 1024 expansions, incumbent instants) on the Track
+	// timeline. Like Stats, a nil Trace costs one nil check per
+	// instrumentation point, and attaching one never changes the result.
+	Trace *telemetry.Trace
+	// Track is the trace timeline this search emits on: 0 for a
+	// single-method run, worker slot+1 in a portfolio.
+	Track int
 }
 
 // Incumbent reports a new incumbent width through OnIncumbent, tolerating

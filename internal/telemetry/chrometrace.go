@@ -1,0 +1,141 @@
+// Chrome trace-event export of a Trace ring, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing, plus the append-only
+// JSONL run-ledger helper the CLI tools use.
+//
+// The exporter guarantees a well-formed timeline whatever the ring
+// recorded: timestamps are non-decreasing in array order (ring order is
+// timestamp order), every emitted "B" has a matching "E" on its track,
+// and "E" events whose "B" was overwritten by ring wraparound are
+// dropped. Still-open spans are closed at the final timestamp, so a trace
+// captured mid-run (or from a deadline-cancelled search) renders cleanly.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // annotations
+}
+
+// chromeDoc is the top-level trace-event JSON object form.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// WriteChrome renders the trace as Chrome trace-event JSON: metadata
+// naming the process and one thread (track) per portfolio worker, then
+// the event stream with balanced B/E span pairs and monotone timestamps.
+// Safe on a nil trace (writes an empty, still-valid document).
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	names := t.TrackNames()
+
+	out := make([]chromeEvent, 0, len(events)+2*len(names)+4)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "htd"},
+	})
+	for _, id := range trackIDs(events, names) {
+		name := names[id]
+		if name == "" {
+			name = fmt.Sprintf("track %d", id)
+		}
+		out = append(out,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: id,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: id,
+				Args: map[string]any{"sort_index": id}},
+		)
+	}
+
+	// Per-track stacks of open span names reconcile B/E balance: an E with
+	// no open B (its B was evicted by ring wraparound) is dropped, and
+	// every B still open at the end is closed at the final timestamp.
+	open := make(map[int][]string)
+	var lastTs float64
+	for i := range events {
+		e := &events[i]
+		ts := float64(e.T.Nanoseconds()) / 1e3
+		if ts < lastTs {
+			ts = lastTs // defensive: the ring already orders timestamps
+		}
+		lastTs = ts
+		ce := chromeEvent{Name: e.Name, Ts: ts, Pid: chromePid, Tid: e.Track, Args: eventArgs(e)}
+		switch e.Kind {
+		case KindBegin:
+			ce.Ph = "B"
+			open[e.Track] = append(open[e.Track], e.Name)
+		case KindEnd:
+			stack := open[e.Track]
+			if len(stack) == 0 {
+				continue // unmatched E: its B fell off the ring
+			}
+			ce.Name = stack[len(stack)-1] // E closes the innermost B
+			open[e.Track] = stack[:len(stack)-1]
+			ce.Ph = "E"
+		case KindInstant:
+			ce.Ph = "i"
+			ce.S = "t"
+		case KindCounter:
+			ce.Ph = "C"
+		default:
+			continue
+		}
+		out = append(out, ce)
+	}
+	for track, stack := range open {
+		for i := len(stack) - 1; i >= 0; i-- {
+			out = append(out, chromeEvent{
+				Name: stack[i], Ph: "E", Ts: lastTs, Pid: chromePid, Tid: track,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func eventArgs(e *Event) map[string]any {
+	if e.NArgs == 0 {
+		return nil
+	}
+	args := make(map[string]any, e.NArgs)
+	for i := uint8(0); i < e.NArgs; i++ {
+		args[e.Args[i].Key] = e.Args[i].Val
+	}
+	return args
+}
+
+// AppendJSONL appends v as one JSON line to path, creating the file when
+// absent. The file is opened O_APPEND, so concurrent runs interleave at
+// line granularity — the append-only run-ledger contract of the CLI
+// tools: one self-contained JSON object per run, greppable and jq-able.
+func AppendJSONL(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

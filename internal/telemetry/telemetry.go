@@ -41,6 +41,13 @@ type Stats struct {
 	coverMisses     atomic.Int64 // cover-oracle misses (covers actually solved)
 	coverEvictions  atomic.Int64 // cover-oracle bags evicted by the memory bound
 
+	// Memory telemetry, fed by MemSampler (all zero when no sampler ran).
+	memHeapHighWater atomic.Int64 // max observed live-heap bytes
+	memTotalAlloc    atomic.Int64 // cumulative allocated bytes over the run
+	memGCPauseNs     atomic.Int64 // total GC stop-the-world pause over the run
+	memGCCount       atomic.Int64 // GC cycles over the run
+	memSamples       atomic.Int64 // MemStats samples taken
+
 	mu    sync.Mutex
 	t0    time.Time
 	trace []Incumbent
@@ -163,6 +170,26 @@ func (s *Stats) AddCover(hits, misses, evictions int64) {
 	s.coverEvictions.Add(evictions)
 }
 
+// ObserveMem folds one runtime.MemStats sample into s: heapAlloc raises
+// the heap high-water mark, while the totals (deltas against the
+// sampler's baseline) replace the previous observation — they are
+// cumulative already. Safe on a nil receiver.
+func (s *Stats) ObserveMem(heapAlloc, totalAlloc, gcPauseNs, gcCount int64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.memHeapHighWater.Load()
+		if heapAlloc <= cur || s.memHeapHighWater.CompareAndSwap(cur, heapAlloc) {
+			break
+		}
+	}
+	s.memTotalAlloc.Store(totalAlloc)
+	s.memGCPauseNs.Store(gcPauseNs)
+	s.memGCCount.Store(gcCount)
+	s.memSamples.Add(1)
+}
+
 // Snapshot is a plain-integer copy of the counters, suitable for JSON
 // encoding and expvar export.
 type Snapshot struct {
@@ -179,6 +206,13 @@ type Snapshot struct {
 	CoverHits       int64 `json:"cover_hits"`
 	CoverMisses     int64 `json:"cover_misses"`
 	CoverEvictions  int64 `json:"cover_evictions"`
+
+	// Memory telemetry (zero unless a MemSampler ran over the Stats).
+	HeapHighWaterBytes int64 `json:"heap_high_water_bytes"`
+	TotalAllocBytes    int64 `json:"total_alloc_bytes"`
+	GCPauseTotalNs     int64 `json:"gc_pause_total_ns"`
+	GCCount            int64 `json:"gc_count"`
+	MemSamples         int64 `json:"mem_samples"`
 }
 
 // Snapshot reads the counters atomically (individually, not as a group).
@@ -201,10 +235,18 @@ func (s *Stats) Snapshot() Snapshot {
 		CoverHits:       s.coverHits.Load(),
 		CoverMisses:     s.coverMisses.Load(),
 		CoverEvictions:  s.coverEvictions.Load(),
+
+		HeapHighWaterBytes: s.memHeapHighWater.Load(),
+		TotalAllocBytes:    s.memTotalAlloc.Load(),
+		GCPauseTotalNs:     s.memGCPauseNs.Load(),
+		GCCount:            s.memGCCount.Load(),
+		MemSamples:         s.memSamples.Load(),
 	}
 }
 
-// Add returns the component-wise sum of two snapshots.
+// Add returns the component-wise sum of two snapshots. Memory fields
+// combine by their own semantics: high-water marks take the max (two
+// runs in one process share a heap), while the cumulative totals sum.
 func (a Snapshot) Add(b Snapshot) Snapshot {
 	return Snapshot{
 		Nodes:           a.Nodes + b.Nodes,
@@ -220,7 +262,20 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		CoverHits:       a.CoverHits + b.CoverHits,
 		CoverMisses:     a.CoverMisses + b.CoverMisses,
 		CoverEvictions:  a.CoverEvictions + b.CoverEvictions,
+
+		HeapHighWaterBytes: max64(a.HeapHighWaterBytes, b.HeapHighWaterBytes),
+		TotalAllocBytes:    a.TotalAllocBytes + b.TotalAllocBytes,
+		GCPauseTotalNs:     a.GCPauseTotalNs + b.GCPauseTotalNs,
+		GCCount:            a.GCCount + b.GCCount,
+		MemSamples:         a.MemSamples + b.MemSamples,
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // AddSnapshot folds a snapshot (typically a finished portfolio worker's
@@ -242,6 +297,19 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.coverHits.Add(b.CoverHits)
 	s.coverMisses.Add(b.CoverMisses)
 	s.coverEvictions.Add(b.CoverEvictions)
+	// Memory: high-water folds as a max (shared heap), totals accumulate.
+	// Portfolio workers carry zero mem fields by design — the sampler is
+	// attached to the run-level Stats — so this is usually a no-op.
+	for {
+		cur := s.memHeapHighWater.Load()
+		if b.HeapHighWaterBytes <= cur || s.memHeapHighWater.CompareAndSwap(cur, b.HeapHighWaterBytes) {
+			break
+		}
+	}
+	s.memTotalAlloc.Add(b.TotalAllocBytes)
+	s.memGCPauseNs.Add(b.GCPauseTotalNs)
+	s.memGCCount.Add(b.GCCount)
+	s.memSamples.Add(b.MemSamples)
 }
 
 // Incumbent is one point of the anytime trace: at Elapsed since the run
@@ -345,19 +413,38 @@ func (o *Observer) PortfolioOutcome(out Outcome) {
 	}
 }
 
+// expvarHolders maps published names to swappable Stats pointers. expvar
+// itself panics on duplicate Publish calls and offers no unpublish, so
+// each name is published exactly once with a Func reading through the
+// holder — re-publishing under the same name swaps the holder and the
+// exported JSON immediately reflects the newest run instead of pinning
+// the first Stats forever.
+var (
+	expvarMu      sync.Mutex
+	expvarHolders = map[string]*atomic.Pointer[Stats]{}
+)
+
 // PublishExpvar exports s under the given expvar name as a JSON object
 // with the live counters and the anytime trace, for scraping via
-// /debug/vars next to net/http/pprof. Publishing the same name twice is a
-// no-op (expvar itself panics on duplicates), so a long-lived process can
-// call it once per run name.
+// /debug/vars next to net/http/pprof. Calling it again with the same name
+// re-points the export at the new Stats, so a long-lived process serves
+// its latest run, not its first.
 func PublishExpvar(name string, s *Stats) {
-	if expvar.Get(name) != nil {
-		return
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	holder, ok := expvarHolders[name]
+	if !ok {
+		holder = new(atomic.Pointer[Stats])
+		expvarHolders[name] = holder
 	}
-	expvar.Publish(name, expvar.Func(func() any {
-		return struct {
-			Counters Snapshot    `json:"counters"`
-			Trace    []Incumbent `json:"trace"`
-		}{s.Snapshot(), s.Trace()}
-	}))
+	holder.Store(s)
+	if !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			cur := holder.Load() // nil-safe: Snapshot/Trace tolerate nil
+			return struct {
+				Counters Snapshot    `json:"counters"`
+				Trace    []Incumbent `json:"trace"`
+			}{cur.Snapshot(), cur.Trace()}
+		}))
+	}
 }

@@ -195,3 +195,34 @@ func TestPublishExpvar(t *testing.T) {
 		t.Errorf("expvar payload missing fields: %s", out)
 	}
 }
+
+// TestPublishExpvarSwaps re-publishes a name with a fresh Stats and checks
+// the expvar output tracks the newest one — it must not stay pinned to the
+// Stats of the first run (expvar itself has no unpublish, so PublishExpvar
+// routes through a swappable holder).
+func TestPublishExpvarSwaps(t *testing.T) {
+	var a Stats
+	a.Node()
+	PublishExpvar("telemetry_test_swap", &a)
+
+	var b Stats
+	for i := 0; i < 7; i++ {
+		b.Node()
+	}
+	b.RecordIncumbent(9, "astar")
+	PublishExpvar("telemetry_test_swap", &b)
+
+	out := expvar.Get("telemetry_test_swap").String()
+	if !strings.Contains(out, `"nodes":7`) {
+		t.Errorf("expvar still pinned to the first Stats: %s", out)
+	}
+	if !strings.Contains(out, `"method":"astar"`) {
+		t.Errorf("expvar trace not from the swapped Stats: %s", out)
+	}
+
+	// New counts on the live Stats must be visible on the next read.
+	b.Node()
+	if out := expvar.Get("telemetry_test_swap").String(); !strings.Contains(out, `"nodes":8`) {
+		t.Errorf("expvar snapshot is stale: %s", out)
+	}
+}

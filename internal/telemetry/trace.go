@@ -1,0 +1,214 @@
+// Structured search tracing: a bounded event ring recording spans and
+// instants of one decomposition run, in the spirit of the det-k-decomp
+// evaluations that report *where* the recursion spent its time rather
+// than one aggregate wall clock.
+//
+// The ring complements the Stats counters: counters say how much work of
+// each kind happened, the trace says when and on which portfolio worker.
+// Events carry a track id — track 0 is the run itself, portfolio workers
+// use track slot+1 — so a Chrome trace-event export (WriteChrome) renders
+// one timeline row per worker and cross-worker interleaving is visible.
+//
+// Cost contract: a nil *Trace costs one nil check per emission point, and
+// the engines sample their hot paths (batched node pulses, pulsed cache
+// counters) so an attached trace stays out of the inner loops. Like Stats
+// and Observer, a Trace only observes: attaching one never changes any
+// engine's result for a fixed seed.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+const (
+	// KindBegin opens a span on its track (Chrome phase "B").
+	KindBegin EventKind = iota
+	// KindEnd closes the innermost open span on its track (Chrome "E").
+	KindEnd
+	// KindInstant is a point event (Chrome "i").
+	KindInstant
+	// KindCounter is a sampled counter value (Chrome "C"); Args[0] holds
+	// the series value.
+	KindCounter
+)
+
+// maxEventArgs bounds the per-event argument payload; a fixed array keeps
+// Event a flat value and event emission allocation-free once the ring
+// exists.
+const maxEventArgs = 3
+
+// Arg is one key/value annotation of an event.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one entry of the ring. T is the elapsed time since the trace
+// was created; events are timestamped under the ring lock, so T is
+// non-decreasing in ring order.
+type Event struct {
+	Kind  EventKind
+	Track int
+	Name  string
+	T     time.Duration
+	Args  [maxEventArgs]Arg
+	NArgs uint8
+}
+
+// DefaultTraceEvents is the ring capacity NewTrace uses when given a
+// non-positive capacity: large enough for the sampled event rates of long
+// runs, small enough (flat ~64-byte events) to stay in the low megabytes.
+const DefaultTraceEvents = 1 << 16
+
+// Trace is a bounded ring of events. All methods are safe for concurrent
+// use and nil-safe: a nil *Trace discards every emission at the cost of
+// one nil check, so engines call the emit helpers unconditionally on
+// whatever pointer their options carry.
+//
+// When the ring is full the oldest events are overwritten (and counted in
+// Dropped); WriteChrome reconciles span balance at export time, so a
+// wrapped ring still renders as a valid timeline of the run's tail.
+type Trace struct {
+	mu      sync.Mutex
+	t0      time.Time
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events
+	dropped int64
+	tracks  map[int]string
+}
+
+// NewTrace returns a trace whose ring holds up to capacity events
+// (DefaultTraceEvents when capacity <= 0). The clock starts now.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{
+		t0:     time.Now(),
+		buf:    make([]Event, capacity),
+		tracks: map[int]string{0: "run"},
+	}
+}
+
+// SetTrackName names a track (timeline row) for exports. Safe on nil.
+func (t *Trace) SetTrackName(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tracks[track] = name
+	t.mu.Unlock()
+}
+
+// Begin opens a span named name on track. Safe on nil.
+func (t *Trace) Begin(track int, name string, args ...Arg) {
+	t.emit(KindBegin, track, name, args)
+}
+
+// End closes the innermost open span on track. Safe on nil.
+func (t *Trace) End(track int, name string, args ...Arg) {
+	t.emit(KindEnd, track, name, args)
+}
+
+// Instant records a point event. Safe on nil.
+func (t *Trace) Instant(track int, name string, args ...Arg) {
+	t.emit(KindInstant, track, name, args)
+}
+
+// Counter records a sampled counter value for the series name. Safe on
+// nil.
+func (t *Trace) Counter(track int, name string, val int64) {
+	t.emit(KindCounter, track, name, []Arg{{Key: "value", Val: val}})
+}
+
+func (t *Trace) emit(kind EventKind, track int, name string, args []Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	var i int
+	if t.n < len(t.buf) {
+		i = (t.start + t.n) % len(t.buf)
+		t.n++
+	} else {
+		i = t.start
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+	}
+	e := &t.buf[i]
+	e.Kind = kind
+	e.Track = track
+	e.Name = name
+	// Timestamp under the lock: ring order is timestamp order by
+	// construction, which the exporters rely on.
+	e.T = time.Since(t.t0)
+	e.NArgs = 0
+	for j := 0; j < len(args) && j < maxEventArgs; j++ {
+		e.Args[j] = args[j]
+		e.NArgs++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the live events, oldest first. Safe on nil.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+// Safe on nil.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// TrackNames returns a copy of the registered track names. Safe on nil.
+func (t *Trace) TrackNames() map[int]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string, len(t.tracks))
+	for k, v := range t.tracks {
+		out[k] = v
+	}
+	return out
+}
+
+// trackIDs returns the union of registered and event-carrying track ids,
+// sorted, for deterministic export order.
+func trackIDs(events []Event, names map[int]string) []int {
+	seen := make(map[int]bool, len(names))
+	for id := range names {
+		seen[id] = true
+	}
+	for i := range events {
+		seen[events[i].Track] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

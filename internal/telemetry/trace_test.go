@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceNilSafety: every Trace method must be a no-op on nil — the
+// disabled-trace cost contract is one nil check per emission point.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Begin(0, "span")
+	tr.End(0, "span")
+	tr.Instant(1, "pulse", Arg{Key: "k", Val: 1})
+	tr.Counter(0, "heap", 42)
+	tr.SetTrackName(2, "worker")
+	if tr.Events() != nil || tr.Dropped() != 0 || tr.TrackNames() != nil {
+		t.Error("nil Trace returned non-zero state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace export is not valid JSON: %v", err)
+	}
+}
+
+// TestTraceRingBounded fills a tiny ring far past capacity and checks the
+// oldest events are dropped, order survives the wrap, and the export is
+// still well-formed (unmatched E events removed, open B events closed).
+func TestTraceRingBounded(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Begin(0, "outer") // this B will fall off the ring
+	for i := 0; i < 40; i++ {
+		tr.Instant(0, "tick", Arg{Key: "i", Val: int64(i)})
+	}
+	tr.End(0, "outer")   // unmatched: its B was overwritten
+	tr.Begin(0, "inner") // still open at export time
+
+	ev := tr.Events()
+	if len(ev) != 8 {
+		t.Fatalf("ring holds %d events, want capacity 8", len(ev))
+	}
+	if tr.Dropped() != 40+1+1+1-8 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 40+1+1+1-8)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].T < ev[i-1].T {
+			t.Errorf("ring order not timestamp order at %d", i)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkChromeBalance(t, buf.Bytes())
+}
+
+// checkChromeBalance decodes a Chrome trace-event document and asserts
+// monotone timestamps and per-tid B/E balance.
+func checkChromeBalance(t *testing.T, data []byte) (events []map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	depth := map[float64]int{}
+	lastTs := -1.0
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		ts, _ := e["ts"].(float64)
+		if ts < lastTs {
+			t.Errorf("timestamps not monotone: %v after %v", ts, lastTs)
+		}
+		lastTs = ts
+		tid, _ := e["tid"].(float64)
+		switch ph {
+		case "B":
+			depth[tid]++
+		case "E":
+			depth[tid]--
+			if depth[tid] < 0 {
+				t.Errorf("tid %v: E without open B", tid)
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %v: %d spans left open", tid, d)
+		}
+	}
+	return doc.TraceEvents
+}
+
+// TestWriteChromeTracks: spans nest, track metadata is emitted, instants
+// carry their args, and the counter series survives the round trip.
+func TestWriteChromeTracks(t *testing.T) {
+	tr := NewTrace(0)
+	tr.SetTrackName(1, "worker 0: bb")
+	tr.Begin(1, "bb")
+	tr.Begin(1, "probe")
+	tr.Instant(1, "bb.batch", Arg{Key: "nodes", Val: 1024})
+	tr.End(1, "probe")
+	tr.Counter(0, "heap_alloc_bytes", 1<<20)
+	tr.End(1, "bb")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := checkChromeBalance(t, buf.Bytes())
+
+	var sawWorkerName, sawInstantArgs, sawCounter bool
+	for _, e := range events {
+		args, _ := e["args"].(map[string]any)
+		switch e["name"] {
+		case "thread_name":
+			if args["name"] == "worker 0: bb" {
+				sawWorkerName = true
+			}
+		case "bb.batch":
+			if e["ph"] == "i" && args["nodes"] == float64(1024) {
+				sawInstantArgs = true
+			}
+		case "heap_alloc_bytes":
+			if e["ph"] == "C" && args["value"] == float64(1<<20) {
+				sawCounter = true
+			}
+		}
+	}
+	if !sawWorkerName {
+		t.Error("no thread_name metadata for the worker track")
+	}
+	if !sawInstantArgs {
+		t.Error("instant lost its args")
+	}
+	if !sawCounter {
+		t.Error("counter series missing")
+	}
+}
+
+// TestTraceConcurrent hammers one ring from several goroutines, as the
+// portfolio workers do, and checks nothing is lost beyond ring capacity.
+// Meaningful under -race.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(1 << 12)
+	var wg sync.WaitGroup
+	const workers, per = 6, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			track := w + 1
+			tr.SetTrackName(track, "worker")
+			tr.Begin(track, "run")
+			for i := 0; i < per; i++ {
+				tr.Instant(track, "tick", Arg{Key: "i", Val: int64(i)})
+			}
+			tr.End(track, "run")
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != workers*(per+2) {
+		t.Errorf("events = %d, want %d", got, workers*(per+2))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkChromeBalance(t, buf.Bytes())
+}
+
+// TestMemSamplerFeedsStats: the sampler must leave non-zero memory
+// aggregates in the Stats and a heap counter series in the Trace.
+func TestMemSamplerFeedsStats(t *testing.T) {
+	var st Stats
+	tr := NewTrace(0)
+	ms := StartMemSampler(&st, tr, time.Millisecond)
+	// Allocate visibly so TotalAlloc moves between baseline and Stop.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<16))
+	}
+	time.Sleep(5 * time.Millisecond)
+	ms.Stop()
+	_ = sink
+
+	snap := st.Snapshot()
+	if snap.HeapHighWaterBytes <= 0 {
+		t.Errorf("heap high-water = %d, want > 0", snap.HeapHighWaterBytes)
+	}
+	if snap.TotalAllocBytes <= 0 {
+		t.Errorf("total alloc delta = %d, want > 0", snap.TotalAllocBytes)
+	}
+	if snap.MemSamples < 2 {
+		t.Errorf("mem samples = %d, want >= 2 (baseline + final)", snap.MemSamples)
+	}
+	var sawHeap bool
+	for _, e := range tr.Events() {
+		if e.Kind == KindCounter && e.Name == "heap_alloc_bytes" && e.Args[0].Val > 0 {
+			sawHeap = true
+		}
+	}
+	if !sawHeap {
+		t.Error("no heap_alloc_bytes counter events in the trace")
+	}
+}
+
+// TestMemSamplerNilSinks: a sampler with no Stats and no Trace must still
+// start and stop cleanly (the bench harness passes tr == nil).
+func TestMemSamplerNilSinks(t *testing.T) {
+	ms := StartMemSampler(nil, nil, time.Millisecond)
+	time.Sleep(2 * time.Millisecond)
+	ms.Stop()
+}
+
+func TestAppendJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	type entry struct {
+		Run int `json:"run"`
+	}
+	for i := 0; i < 3; i++ {
+		if err := AppendJSONL(path, entry{Run: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ledger has %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var e entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if e.Run != i {
+			t.Errorf("line %d: run = %d", i, e.Run)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 package htd
 
 import (
+	"fmt"
+
 	"hypertree/internal/search"
 	"hypertree/internal/telemetry"
 )
@@ -33,21 +35,37 @@ type (
 	// Observer bundles progress hooks; attach one via Options.Observer.
 	// Hooks may fire concurrently from portfolio worker goroutines.
 	Observer = telemetry.Observer
+	// Trace is a bounded ring of structured timeline events (spans and
+	// instants, one track per portfolio worker); attach one via
+	// Options.Trace and export it with WriteChrome. Safe for concurrent
+	// use; a nil *Trace discards everything at one nil check per point.
+	Trace = telemetry.Trace
+	// TraceArg is one key/value annotation of a trace event.
+	TraceArg = telemetry.Arg
+	// TraceEvent is one recorded trace event.
+	TraceEvent = telemetry.Event
 )
+
+// NewTrace returns a trace whose event ring holds up to capacity events
+// (a default of 65536 when capacity <= 0).
+var NewTrace = telemetry.NewTrace
 
 // scope is the observation state of one run or one portfolio worker.
 type scope struct {
 	stats  *telemetry.Stats // engine counter sink (per worker in a portfolio)
-	root   *telemetry.Stats // trace + clock holder, shared across workers
+	root   *telemetry.Stats // incumbent trace + clock holder, shared across workers
 	obs    *telemetry.Observer
+	trace  *telemetry.Trace // structured event ring, shared across workers
+	track  int              // this scope's trace timeline (0 = run, worker slot+1)
 	method Method
 }
 
 // newScope derives the run's observation scope from the options, or nil
-// when telemetry is fully disabled. Observer-only runs get a private Stats
-// so incumbent events still share one clock and one monotone trace.
+// when telemetry is fully disabled. Observer- or trace-only runs get a
+// private Stats so incumbent events still share one clock and one
+// monotone trace.
 func newScope(opt Options) *scope {
-	if opt.Stats == nil && opt.Observer == nil {
+	if opt.Stats == nil && opt.Observer == nil && opt.Trace == nil {
 		return nil
 	}
 	st := opt.Stats
@@ -55,16 +73,35 @@ func newScope(opt Options) *scope {
 		st = new(telemetry.Stats)
 	}
 	st.Start()
-	return &scope{stats: st, root: st, obs: opt.Observer, method: opt.Method}
+	return &scope{stats: st, root: st, obs: opt.Observer, trace: opt.Trace, method: opt.Method}
 }
 
 // worker derives the scope of portfolio slot i running method m: fresh
-// counters, shared trace/clock/observer.
+// counters, shared trace/clock/observer; trace events land on timeline
+// slot+1 (track 0 stays the run's own).
 func (sc *scope) worker(i int, m Method) *scope {
 	if sc == nil {
 		return nil
 	}
-	return &scope{stats: new(telemetry.Stats), root: sc.root, obs: sc.obs, method: m}
+	w := &scope{stats: new(telemetry.Stats), root: sc.root, obs: sc.obs, trace: sc.trace, track: i + 1, method: m}
+	w.trace.SetTrackName(w.track, fmt.Sprintf("worker %d: %s", i, m))
+	return w
+}
+
+// traceRef returns the shared event ring (nil when disabled).
+func (sc *scope) traceRef() *telemetry.Trace {
+	if sc == nil {
+		return nil
+	}
+	return sc.trace
+}
+
+// trackID returns this scope's trace timeline (0 when disabled).
+func (sc *scope) trackID() int {
+	if sc == nil {
+		return 0
+	}
+	return sc.track
 }
 
 // engineStats returns the counter sink to hand to an engine (nil when
@@ -85,17 +122,28 @@ func (sc *scope) incumbentHook() func(width int) {
 		return nil
 	}
 	method := sc.method.String()
+	track := sc.track
 	return func(w int) {
 		if inc, ok := sc.root.RecordIncumbent(w, method); ok {
 			sc.obs.Incumbent(inc)
+			sc.trace.Instant(track, "incumbent",
+				telemetry.Arg{Key: "width", Val: int64(w)})
 		}
 	}
 }
 
-// phase emits a phase event for this scope's method.
+// phase emits a phase event for this scope's method. The start/done pair
+// every method emits doubles as a span on the scope's trace track, so the
+// timeline shows one bar per method run without extra call sites.
 func (sc *scope) phase(name string) {
 	if sc == nil {
 		return
+	}
+	switch name {
+	case "start":
+		sc.trace.Begin(sc.track, sc.method.String())
+	case "done":
+		sc.trace.End(sc.track, sc.method.String())
 	}
 	sc.obs.Phase(telemetry.Phase{Method: sc.method.String(), Name: name, Elapsed: sc.root.Elapsed()})
 }
@@ -132,5 +180,7 @@ func (sc *scope) searchOptions(opt Options) search.Options {
 		Seed:        opt.Seed,
 		Stats:       sc.engineStats(),
 		OnIncumbent: sc.incumbentHook(),
+		Trace:       sc.traceRef(),
+		Track:       sc.trackID(),
 	}
 }

@@ -58,3 +58,20 @@ func BenchmarkBBTreewidthTelemetryOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBBTreewidthTraceOn measures the attached-trace cost on top of
+// the other telemetry sinks: the engines sample their hot paths (one
+// instant per 1024 nodes), so this should sit within noise of TelemetryOn.
+func BenchmarkBBTreewidthTraceOn(b *testing.B) {
+	g := benchDIMACSGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := benchBBOpts()
+		opt.Stats = new(Stats)
+		opt.Observer = &Observer{OnIncumbent: func(Incumbent) {}}
+		opt.Trace = NewTrace(0)
+		if _, err := Treewidth(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

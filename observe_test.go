@@ -145,6 +145,7 @@ func TestObserverDoesNotPerturb(t *testing.T) {
 			OnPhase:            func(Phase) {},
 			OnPortfolioOutcome: func(PortfolioOutcome) {},
 		}
+		watched.Trace = NewTrace(0) // structured tracing is observe-only too
 		obs, err := GHW(h, watched)
 		if err != nil {
 			t.Fatalf("%v observed: %v", m, err)
@@ -167,6 +168,7 @@ func TestObserverDoesNotPerturb(t *testing.T) {
 	}
 	opt.Stats = new(Stats)
 	opt.Observer = &Observer{OnIncumbent: func(Incumbent) {}}
+	opt.Trace = NewTrace(0)
 	obs, err := GHW(h, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -124,6 +124,9 @@ func runPortfolio(ctx context.Context, methods []Method, jobs int, sc *scope, ru
 		out := &outcomes[i]
 		if out.err == nil && out.res.Exact {
 			cancel() // optimum proven — stop the stragglers
+			sc.traceRef().Instant(0, "portfolio.exact",
+				telemetry.Arg{Key: "slot", Val: int64(i)},
+				telemetry.Arg{Key: "width", Val: int64(out.res.Width)})
 		}
 		// Attribution, built in completion order: the observer sees each
 		// worker as it finishes, the result keeps all of them per slot.
