@@ -91,9 +91,10 @@ commands:
   validate   parse and sanity-check a hypergraph file
   gen        generate benchmark instances (-list for families)
   solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
-  query      answer a conjunctive query (-q "ans(X):-r(X,Y)") over TSV relations
+  query      answer a conjunctive query (-q "ans(X):-r(X,Y)" or -f file) over TSV
+             relations, with -method/-jobs/-timeout and -boolean (satisfiability only)
 
-observability (decompose, tw, hw, fhw):
+observability (decompose, tw, hw, fhw, query):
   -v            stream progress (incumbents, phases, portfolio workers) to stderr
   -pprof :6060  serve net/http/pprof + expvar search counters (/debug/vars)
   -trace f.json write the run timeline as Chrome trace-event JSON (open in Perfetto)
@@ -425,31 +426,112 @@ func cmdSolve(args []string) error {
 }
 
 // cmdQuery answers a conjunctive query over relations loaded from TSV
-// files named <relation>.tsv in the given directory.
+// files named <relation>.tsv in the given directory. The query comes from
+// -q (inline) or -f (file); evaluation runs the parallel context-aware
+// Yannakakis engine with the same observability flags as the
+// decomposition subcommands.
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	queryText := fs.String("q", "", "query, e.g. 'ans(X,Z) :- r(X,Y), s(Y,Z).'")
+	queryText := fs.String("q", "", "query text, e.g. 'ans(X,Z) :- r(X,Y), s(Y,Z).'")
+	queryFile := fs.String("f", "", "read the query from this file instead of -q")
+	method := fs.String("method", "minfill", "decomposition algorithm: minfill|ga|saiga|bb|astar|portfolio")
+	seed := fs.Int64("seed", 1, "random seed")
+	jobs := fs.Int("jobs", 0, "max concurrent evaluation workers (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms (0 = none); on expiry evaluation aborts")
+	boolOnly := fs.Bool("boolean", false, "decide satisfiability only (stops after the full reducer, no answers materialized)")
+	of := addObsFlags(fs)
 	fs.Parse(args)
-	if *queryText == "" || fs.NArg() != 1 {
-		return fmt.Errorf("query: usage: htd query -q 'ans(X) :- r(X,Y).' datadir")
+	if (*queryText == "") == (*queryFile == "") || fs.NArg() != 1 {
+		return fmt.Errorf("query: usage: htd query (-q 'ans(X) :- r(X,Y).' | -f query.cq) datadir")
 	}
-	q, err := htd.ParseQuery(*queryText)
+	text := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		text = string(data)
+	}
+	q, err := htd.ParseQuery(text)
 	if err != nil {
 		return err
 	}
+	db, err := loadQueryDatabase(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := htd.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	h := q.Hypergraph()
+	fmt.Printf("query hypergraph: %d variables, %d atoms, acyclic: %v\n",
+		h.NumVertices(), h.NumEdges(), h.IsAcyclic())
+	s := of.start()
+	opt := htd.Options{
+		Method: m, Seed: *seed, Jobs: *jobs,
+		Stats: s.stats, Observer: s.obs, Trace: s.trace,
+	}
+	start := time.Now()
+	d, err := htd.DecomposeCtx(ctx, h, opt)
+	if err != nil {
+		s.finish("query", fs.Arg(0), m.String(), 0, htd.Result{}, err, time.Since(start))
+		return err
+	}
+	fmt.Printf("decomposition: method %s, ghw upper bound %d, %d nodes\n",
+		m, d.GHWidth(), d.NumNodes())
+	var rows [][]string
+	var sat bool
+	if *boolOnly {
+		sat, err = htd.BooleanQueryWithCtx(ctx, q, db, d, opt)
+	} else {
+		rows, err = htd.AnswerQueryWithCtx(ctx, q, db, d, opt)
+	}
+	wall := time.Since(start)
+	if ferr := s.finish("query", fs.Arg(0), m.String(), float64(d.GHWidth()), htd.Result{}, err, wall); ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	s.summarize(htd.Result{})
+	if *boolOnly {
+		if sat {
+			fmt.Printf("SATISFIABLE (%s)\n", wall.Round(time.Millisecond))
+		} else {
+			fmt.Printf("UNSATISFIABLE (%s)\n", wall.Round(time.Millisecond))
+		}
+		return nil
+	}
+	fmt.Printf("%d answers (%s)\n", len(rows), wall.Round(time.Millisecond))
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, "\t"))
+	}
+	return nil
+}
+
+// loadQueryDatabase reads every <relation>.tsv of dir into a CQ database:
+// one tuple per line, tab-separated, # comments and blank lines skipped.
+func loadQueryDatabase(dir string) (*htd.Database, error) {
 	db := htd.NewDatabase()
-	entries, err := os.ReadDir(fs.Arg(0))
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tsv") {
 			continue
 		}
 		rel := strings.TrimSuffix(e.Name(), ".tsv")
-		data, err := os.ReadFile(fs.Arg(0) + "/" + e.Name())
+		data, err := os.ReadFile(dir + "/" + e.Name())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, line := range strings.Split(string(data), "\n") {
 			line = strings.TrimSpace(line)
@@ -459,19 +541,7 @@ func cmdQuery(args []string) error {
 			db.Add(rel, strings.Split(line, "\t")...)
 		}
 	}
-	h := q.Hypergraph()
-	fmt.Printf("query hypergraph: %d variables, %d atoms, acyclic: %v\n",
-		h.NumVertices(), h.NumEdges(), h.IsAcyclic())
-	start := time.Now()
-	rows, err := htd.AnswerQuery(q, db)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%d answers (%s)\n", len(rows), time.Since(start).Round(time.Millisecond))
-	for _, r := range rows {
-		fmt.Println(strings.Join(r, "\t"))
-	}
-	return nil
+	return db, nil
 }
 
 func cmdGen(args []string) error {

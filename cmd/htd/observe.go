@@ -190,6 +190,13 @@ func (s *obsSession) summarize(res htd.Result) {
 		"heap_high_water", snap.HeapHighWaterBytes,
 		"total_alloc", snap.TotalAllocBytes,
 	}
+	if snap.CQJoinTuples > 0 || snap.CQSemijoinTuples > 0 || snap.CQOutputJoins > 0 {
+		attrs = append(attrs,
+			"cq_join_tuples", snap.CQJoinTuples,
+			"cq_semijoin_tuples", snap.CQSemijoinTuples,
+			"cq_output_joins", snap.CQOutputJoins,
+		)
+	}
 	if res.Winner != "" {
 		attrs = append(attrs, "winner", res.Winner)
 	}

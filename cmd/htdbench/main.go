@@ -10,6 +10,9 @@
 //	                         # telemetry and the anytime incumbent curve
 //	htdbench -json -methods bb,astar,portfolio -timeout 5s -o -   # to stdout
 //	htdbench -json -instances '^(myciel3|adder_10)$'              # subset
+//	htdbench -json -queries -methods minfill   # BENCH_query.json: the CQ
+//	                         # workload catalog through the parallel
+//	                         # Yannakakis engine (answer counts gated too)
 //	htdbench -compare BENCH_portfolio.json new.json               # perf gate
 //	htdbench -compare -max-wall 2 -max-heap 1.5 base.json new.json
 //
@@ -41,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	runs := flag.Int("runs", 0, "repetitions for stochastic algorithms (0 = default)")
 	jsonOut := flag.Bool("json", false, "run the JSON bench harness over the instance catalog instead of rendering tables")
+	queries := flag.Bool("queries", false, "with -json: run the conjunctive-query workload catalog (BENCH_query.json) instead of the decomposition catalog")
 	out := flag.String("o", "BENCH_portfolio.json", "output path for -json ('-' = stdout)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
 	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio")
@@ -70,7 +74,10 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *instances); err != nil {
+		if *queries && *out == "BENCH_portfolio.json" {
+			*out = "BENCH_query.json"
+		}
+		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *instances, *queries); err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
 			os.Exit(2)
 		}
@@ -94,8 +101,9 @@ func main() {
 	}
 }
 
-// runJSON executes the bench harness and writes the report.
-func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool, instances string) error {
+// runJSON executes the bench harness (decomposition catalog, or the
+// query-workload catalog when queries is set) and writes the report.
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool, instances string, queries bool) error {
 	var ms []htd.Method
 	for _, name := range strings.Split(methodList, ",") {
 		name = strings.TrimSpace(name)
@@ -115,7 +123,7 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 			return fmt.Errorf("-instances: %w", err)
 		}
 	}
-	rep := bench.Run(bench.Config{
+	cfg := bench.Config{
 		Full:              full,
 		Seed:              seed,
 		Timeout:           timeout,
@@ -123,7 +131,13 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 		DisableCoverCache: noCoverCache,
 		Instances:         filter,
 		Log:               os.Stderr,
-	})
+	}
+	var rep bench.Report
+	if queries {
+		rep = bench.RunQueries(cfg)
+	} else {
+		rep = bench.Run(cfg)
+	}
 	if out == "-" {
 		return rep.Write(os.Stdout)
 	}

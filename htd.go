@@ -642,3 +642,55 @@ var (
 	// BooleanQuery decides satisfiability of a Boolean query.
 	BooleanQuery = cq.Boolean
 )
+
+// QueryEvalOptions configures the context-aware query evaluator directly;
+// see AnswerQueryWithCtx.
+type QueryEvalOptions = cq.EvalOptions
+
+// evalOptions threads the facade options' parallelism and telemetry sinks
+// into the query engine.
+func evalOptions(opt Options) cq.EvalOptions {
+	return cq.EvalOptions{Jobs: opt.Jobs, Stats: opt.Stats, Trace: opt.Trace}
+}
+
+// AnswerQueryCtx evaluates a conjunctive query under a context: it builds
+// a decomposition of the query hypergraph with opt's Method/Seed (see
+// DecomposeCtx), then runs the parallel Yannakakis engine over it with
+// opt.Jobs workers and opt's Stats/Trace sinks attached. On cancellation
+// it returns ctx.Err() and no partial answers.
+func AnswerQueryCtx(ctx context.Context, q *Query, db *Database, opt Options) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := DecomposeCtx(ctx, q.Hypergraph(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return cq.EvaluateWithCtx(ctx, q, db, d, evalOptions(opt))
+}
+
+// AnswerQueryWithCtx is AnswerQueryCtx over a caller-supplied
+// decomposition of q.Hypergraph().
+func AnswerQueryWithCtx(ctx context.Context, q *Query, db *Database, d *Decomposition, opt Options) ([][]string, error) {
+	return cq.EvaluateWithCtx(ctx, q, db, d, evalOptions(opt))
+}
+
+// BooleanQueryCtx decides satisfiability of a Boolean query under a
+// context. It stops after the bottom-up full reducer — no top-down sweep,
+// no output join pass, no answer materialization.
+func BooleanQueryCtx(ctx context.Context, q *Query, db *Database, opt Options) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	d, err := DecomposeCtx(ctx, q.Hypergraph(), opt)
+	if err != nil {
+		return false, err
+	}
+	return cq.BooleanWithCtx(ctx, q, db, d, evalOptions(opt))
+}
+
+// BooleanQueryWithCtx is BooleanQueryCtx over a caller-supplied
+// decomposition of q.Hypergraph().
+func BooleanQueryWithCtx(ctx context.Context, q *Query, db *Database, d *Decomposition, opt Options) (bool, error) {
+	return cq.BooleanWithCtx(ctx, q, db, d, evalOptions(opt))
+}

@@ -29,18 +29,22 @@ type CurvePoint struct {
 
 // Record is one (instance, method) benchmark row.
 type Record struct {
-	Instance     string            `json:"instance"`
-	Family       string            `json:"family"` // catalog family: "exact" | "substitute"
-	Kind         string            `json:"kind"`   // "tw" | "ghw"
-	Vertices     int               `json:"vertices"`
-	Edges        int               `json:"edges"`
-	Method       string            `json:"method"`
-	Seed         int64             `json:"seed"`
-	Width        int               `json:"width"`
-	LowerBound   int               `json:"lower_bound"`
-	Exact        bool              `json:"exact"`
-	WallMs       float64           `json:"wall_ms"`
-	Nodes        int64             `json:"nodes"`
+	Instance   string  `json:"instance"`
+	Family     string  `json:"family"` // catalog family: "exact" | "substitute"
+	Kind       string  `json:"kind"`   // "tw" | "ghw"
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Method     string  `json:"method"`
+	Seed       int64   `json:"seed"`
+	Width      int     `json:"width"`
+	LowerBound int     `json:"lower_bound"`
+	Exact      bool    `json:"exact"`
+	WallMs     float64 `json:"wall_ms"`
+	Nodes      int64   `json:"nodes"`
+	// Answers is the evaluation answer count of a query-workload record
+	// (Kind "cq"); the compare gate checks it exactly, since answers are
+	// deterministic for a fixed seed.
+	Answers      int64             `json:"answers,omitempty"`
 	Winner       string            `json:"winner,omitempty"`
 	LowerBoundBy string            `json:"lower_bound_by,omitempty"`
 	Counters     htd.StatsSnapshot `json:"counters"`

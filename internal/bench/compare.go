@@ -164,6 +164,12 @@ func compareRecord(b, c Record, th Thresholds) Diff {
 		d.Violations = append(d.Violations,
 			fmt.Sprintf("lower bound weakened %d -> %d", b.LowerBound, c.LowerBound))
 	}
+	// Query-workload answer counts are deterministic for a fixed seed: any
+	// drift is an evaluation correctness bug, not noise.
+	if b.Kind == "cq" && c.Answers != b.Answers {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("answer count changed %d -> %d", b.Answers, c.Answers))
+	}
 
 	if th.MaxWallFactor > 0 {
 		floor := b.WallMs

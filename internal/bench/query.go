@@ -1,0 +1,167 @@
+// Query-workload mode of the harness (htdbench -json -queries): a
+// deterministic catalog of conjunctive queries over generated databases,
+// each evaluated end-to-end — decomposition plus the parallel Yannakakis
+// engine — under the same telemetry and timeout regime as the
+// decomposition catalog. Records carry Kind "cq", so the -compare gate
+// applies unchanged: width (here the ghw of the evaluation decomposition)
+// and the answer count are gated exactly, wall/heap through their noise
+// factors.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hypertree"
+	"hypertree/internal/telemetry"
+)
+
+// queryInstance is one catalog entry: a fixed query text plus a seeded
+// database builder, so every run over the same seed sees byte-identical
+// inputs.
+type queryInstance struct {
+	Name  string
+	Text  string
+	Build func(seed int64) *htd.Database
+}
+
+// pairs adds n random 2-tuples over [0,domain) to relation rel.
+func pairs(db *htd.Database, rng *rand.Rand, rel string, n, domain int) {
+	for i := 0; i < n; i++ {
+		db.Add(rel, fmt.Sprint(rng.Intn(domain)), fmt.Sprint(rng.Intn(domain)))
+	}
+}
+
+// QueryCatalog returns the deterministic query workloads: chains, stars,
+// cycles, a triangle, and a constant-filtered join — the CQ shapes whose
+// decompositions exercise distinct tree topologies (paths, bushy stars,
+// width-2 cycles).
+func QueryCatalog() []queryInstance {
+	return []queryInstance{
+		{
+			Name: "chain_5",
+			Text: "ans(X0,X5) :- r0(X0,X1), r1(X1,X2), r2(X2,X3), r3(X3,X4), r4(X4,X5).",
+			Build: func(seed int64) *htd.Database {
+				rng := rand.New(rand.NewSource(seed))
+				db := htd.NewDatabase()
+				for i := 0; i < 5; i++ {
+					pairs(db, rng, fmt.Sprintf("r%d", i), 2000, 60)
+				}
+				return db
+			},
+		},
+		{
+			Name: "star_6",
+			Text: "ans(C) :- s0(C,L0), s1(C,L1), s2(C,L2), s3(C,L3), s4(C,L4), s5(C,L5).",
+			Build: func(seed int64) *htd.Database {
+				rng := rand.New(rand.NewSource(seed))
+				db := htd.NewDatabase()
+				for i := 0; i < 6; i++ {
+					pairs(db, rng, fmt.Sprintf("s%d", i), 1500, 50)
+				}
+				return db
+			},
+		},
+		{
+			Name: "triangle",
+			Text: "ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).",
+			Build: func(seed int64) *htd.Database {
+				rng := rand.New(rand.NewSource(seed))
+				db := htd.NewDatabase()
+				pairs(db, rng, "e", 600, 70)
+				return db
+			},
+		},
+		{
+			Name: "cycle_6",
+			Text: "ans(X0,X3) :- e0(X0,X1), e1(X1,X2), e2(X2,X3), e3(X3,X4), e4(X4,X5), e5(X5,X0).",
+			Build: func(seed int64) *htd.Database {
+				rng := rand.New(rand.NewSource(seed))
+				db := htd.NewDatabase()
+				for i := 0; i < 6; i++ {
+					pairs(db, rng, fmt.Sprintf("e%d", i), 800, 40)
+				}
+				return db
+			},
+		},
+		{
+			Name: "const_filter",
+			Text: "ans(X,Z) :- r(X,Y), s(Y,Z), t(Z,'7').",
+			Build: func(seed int64) *htd.Database {
+				rng := rand.New(rand.NewSource(seed))
+				db := htd.NewDatabase()
+				pairs(db, rng, "r", 2500, 50)
+				pairs(db, rng, "s", 2500, 50)
+				pairs(db, rng, "t", 2500, 10)
+				return db
+			},
+		},
+	}
+}
+
+// RunQueries executes the query workloads sequentially and returns the
+// report (the -queries counterpart of Run).
+func RunQueries(cfg Config) Report {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if len(cfg.Methods) == 0 {
+		cfg.Methods = []htd.Method{htd.MethodMinFill}
+	}
+	rep := Report{
+		GeneratedBy: "htdbench -json -queries",
+		Timeout:     cfg.Timeout.String(),
+		Seed:        cfg.Seed,
+		Full:        cfg.Full,
+	}
+	for _, m := range cfg.Methods {
+		rep.Methods = append(rep.Methods, m.String())
+	}
+
+	for _, inst := range QueryCatalog() {
+		if !cfg.keep(inst.Name) {
+			continue
+		}
+		q, err := htd.ParseQuery(inst.Text)
+		if err != nil {
+			rep.Records = append(rep.Records, Record{
+				Instance: inst.Name, Family: "query", Kind: "cq",
+				Error: err.Error(),
+			})
+			continue
+		}
+		db := inst.Build(cfg.Seed)
+		h := q.Hypergraph()
+		for _, m := range cfg.Methods {
+			rec := Record{
+				Instance: inst.Name, Family: "query", Kind: "cq",
+				Vertices: h.NumVertices(), Edges: h.NumEdges(),
+				Method: m.String(), Seed: cfg.Seed,
+			}
+			st := new(htd.Stats)
+			ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+			opt := htd.Options{Method: m, Seed: cfg.Seed, Stats: st}
+			start := time.Now()
+			var res htd.Result
+			d, err := htd.DecomposeCtx(ctx, h, opt)
+			var rows [][]string
+			if err == nil {
+				res = htd.Result{Width: d.GHWidth()}
+				rows, err = htd.AnswerQueryWithCtx(ctx, q, db, d, opt)
+			}
+			cancel()
+			wall := time.Since(start)
+			ms.Stop()
+			fill(&rec, res, err, wall, st)
+			if err == nil {
+				rec.Answers = int64(len(rows))
+			}
+			rep.Records = append(rep.Records, rec)
+			progress(cfg.Log, rec)
+		}
+	}
+	return rep
+}

@@ -122,12 +122,37 @@ func (q *Query) String() string {
 			if j > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(t.Value)
+			if !t.IsVar && needsQuotes(t.Value) {
+				b.WriteByte('\'')
+				b.WriteString(t.Value)
+				b.WriteByte('\'')
+			} else {
+				b.WriteString(t.Value)
+			}
 		}
 		b.WriteByte(')')
 	}
 	b.WriteByte('.')
 	return b.String()
+}
+
+// needsQuotes reports whether a constant must be rendered single-quoted
+// to reparse as a constant: empty strings, values with non-identifier
+// bytes, and identifiers that would lex as variables (leading upper-case
+// or '_'). Keeps Parse(q.String()) a fixpoint for every parseable query —
+// a parsed quoted constant can never contain a quote, so quoting it back
+// is always representable.
+func needsQuotes(v string) bool {
+	if v == "" {
+		return true
+	}
+	for i := 0; i < len(v); i++ {
+		if !isIdentByte(v[i]) {
+			return true
+		}
+	}
+	c := v[0]
+	return c == '_' || (c >= 'A' && c <= 'Z')
 }
 
 // Database maps relation names to their tuples (rows of constants).

@@ -1,0 +1,270 @@
+package cq
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hypertree/internal/telemetry"
+)
+
+// movieData replicates the examples/queries workload: the movie database
+// and its cyclic triangle join.
+func movieData() (*Query, *Database) {
+	db := NewDatabase()
+	for _, t := range [][2]string{
+		{"heat", "deniro"}, {"heat", "pacino"},
+		{"taxi", "deniro"}, {"irishman", "deniro"}, {"irishman", "pacino"},
+		{"serpico", "pacino"},
+	} {
+		db.Add("cast", t[0], t[1])
+	}
+	for _, t := range [][2]string{
+		{"mann", "heat"}, {"scorsese", "taxi"}, {"scorsese", "irishman"},
+		{"lumet", "serpico"},
+	} {
+		db.Add("directed", t[0], t[1])
+	}
+	for _, t := range [][2]string{
+		{"deniro", "scorsese"}, {"pacino", "scorsese"},
+		{"deniro", "mann"}, {"pacino", "mann"}, {"pacino", "lumet"},
+	} {
+		db.Add("worked", t[0], t[1])
+	}
+	q, err := Parse("ans(A, M, D) :- cast(M, A), directed(D, M), worked(A, D).")
+	if err != nil {
+		panic(err)
+	}
+	return q, db
+}
+
+// randomEvalInstance builds a small random query + database pair: shared
+// relation names with fixed arities, repeated variables, constants, and
+// occasionally fully ground atoms.
+func randomEvalInstance(rng *rand.Rand) (*Query, *Database) {
+	consts := []string{"a", "b", "c", "1", "2"}
+	vars := []string{"X", "Y", "Z", "W", "V"}
+	nRels := 1 + rng.Intn(3)
+	arity := make([]int, nRels)
+	db := NewDatabase()
+	for r := 0; r < nRels; r++ {
+		arity[r] = 1 + rng.Intn(3)
+		for i := rng.Intn(8); i > 0; i-- {
+			row := make([]string, arity[r])
+			for j := range row {
+				row[j] = consts[rng.Intn(len(consts))]
+			}
+			db.Add(fmt.Sprintf("r%d", r), row...)
+		}
+	}
+	q := &Query{}
+	for i := 1 + rng.Intn(4); i > 0; i-- {
+		r := rng.Intn(nRels)
+		terms := make([]Term, arity[r])
+		for j := range terms {
+			if rng.Intn(4) == 0 {
+				terms[j] = Term{Value: consts[rng.Intn(len(consts))]}
+			} else {
+				terms[j] = Term{Value: vars[rng.Intn(len(vars))], IsVar: true}
+			}
+		}
+		q.Body = append(q.Body, Atom{Relation: fmt.Sprintf("r%d", r), Terms: terms})
+	}
+	for _, v := range q.Vars() {
+		if rng.Intn(2) == 0 {
+			q.Head = append(q.Head, v)
+		}
+	}
+	return q, db
+}
+
+// TestEvaluateCtxMatchesNaive is the differential property test: the
+// decomposition engine must agree with the nested-loop reference
+// row-for-row on randomized instances, sequentially and in parallel.
+func TestEvaluateCtxMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	ctx := context.Background()
+	for trial := 0; trial < 250; trial++ {
+		q, db := randomEvalInstance(rng)
+		want, err := NaiveEvaluate(q, db)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		seq, err := EvaluateCtx(ctx, q, db, EvalOptions{Jobs: 1})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		if !reflect.DeepEqual(seq, want) {
+			t.Fatalf("trial %d: engine disagrees with naive on %s\n got %v\nwant %v",
+				trial, q, seq, want)
+		}
+		par, err := EvaluateCtx(ctx, q, db, EvalOptions{Jobs: 1 + rng.Intn(7)})
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v", trial, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("trial %d: parallel differs from sequential on %s", trial, q)
+		}
+		sat, err := BooleanCtx(ctx, q, db, EvalOptions{Jobs: 2})
+		if err != nil {
+			t.Fatalf("trial %d: boolean: %v", trial, err)
+		}
+		if sat != (len(want) > 0) {
+			t.Fatalf("trial %d: boolean %v but naive found %d rows on %s",
+				trial, sat, len(want), q)
+		}
+	}
+}
+
+// TestParallelDeterministicOnMovieWorkload runs the examples/queries
+// triangle join concurrently at several Jobs settings sharing one Stats
+// sink — the -race workout for the worker pool and the atomic counters.
+func TestParallelDeterministicOnMovieWorkload(t *testing.T) {
+	q, db := movieData()
+	want, err := Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("movie workload must have answers")
+	}
+	st := new(telemetry.Stats)
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs := []int{0, 1, 2, 3}[i%4]
+			rows, err := EvaluateCtx(context.Background(), q, db, EvalOptions{Jobs: jobs, Stats: st})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(rows, want) {
+				errs[i] = fmt.Errorf("jobs=%d: rows diverged", jobs)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := st.Snapshot()
+	if snap.CQJoinTuples == 0 || snap.CQOutputJoins == 0 {
+		t.Fatalf("counters not recorded: %+v", snap)
+	}
+}
+
+// TestExpiredContextReturnsPromptly pins the cancellation contract: an
+// already-expired context yields ctx.Err() and no partial results, from
+// both the evaluating and the Boolean entry points.
+func TestExpiredContextReturnsPromptly(t *testing.T) {
+	q, db := movieData()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rows, err := EvaluateCtx(ctx, q, db, EvalOptions{Jobs: 3})
+	if err != context.Canceled {
+		t.Fatalf("EvaluateCtx error = %v, want context.Canceled", err)
+	}
+	if rows != nil {
+		t.Fatalf("cancelled evaluation returned partial results: %v", rows)
+	}
+	if _, err := BooleanCtx(ctx, q, db, EvalOptions{}); err != context.Canceled {
+		t.Fatalf("BooleanCtx error = %v, want context.Canceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := EvaluateCtx(dctx, q, db, EvalOptions{Jobs: 2}); err != context.DeadlineExceeded {
+		t.Fatalf("expired deadline error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled runs took %v; cancellation must be prompt", elapsed)
+	}
+}
+
+// TestBooleanSkipsOutputPass is the regression test for the old Boolean
+// implementation, which materialized and sorted every answer row: the
+// Boolean path must perform zero output-pass joins (it stops after the
+// bottom-up full reducer), while full evaluation performs at least one
+// per node.
+func TestBooleanSkipsOutputPass(t *testing.T) {
+	q, db := movieData()
+	st := new(telemetry.Stats)
+	sat, err := BooleanCtx(context.Background(), q, db, EvalOptions{Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Fatal("movie workload must be satisfiable")
+	}
+	if got := st.Snapshot().CQOutputJoins; got != 0 {
+		t.Fatalf("Boolean ran %d output-pass node visits, want 0", got)
+	}
+	if st.Snapshot().CQSemijoinTuples == 0 {
+		t.Fatal("Boolean recorded no semijoin work; did the reducer run?")
+	}
+	st2 := new(telemetry.Stats)
+	if _, err := EvaluateCtx(context.Background(), q, db, EvalOptions{Stats: st2}); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Snapshot().CQOutputJoins == 0 {
+		t.Fatal("full evaluation recorded no output-pass work")
+	}
+
+	// An unsatisfiable body must come back false without output work too.
+	uq, err := Parse("ans() :- cast(M, A), directed(nobody, M).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 := new(telemetry.Stats)
+	sat, err = BooleanCtx(context.Background(), uq, db, EvalOptions{Stats: st3})
+	if err != nil || sat {
+		t.Fatalf("unsatisfiable query: sat=%v err=%v", sat, err)
+	}
+	if got := st3.Snapshot().CQOutputJoins; got != 0 {
+		t.Fatalf("unsatisfiable Boolean ran %d output-pass node visits", got)
+	}
+}
+
+// TestEngineTraceSpansBalanced asserts the engine emits balanced
+// per-pass spans on the configured track.
+func TestEngineTraceSpansBalanced(t *testing.T) {
+	q, db := movieData()
+	tr := telemetry.NewTrace(0)
+	if _, err := EvaluateCtx(context.Background(), q, db, EvalOptions{Jobs: 2, Trace: tr, Track: 7}); err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	seen := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Track != 7 {
+			t.Fatalf("event %q on track %d, want 7", ev.Name, ev.Track)
+		}
+		switch ev.Kind {
+		case telemetry.KindBegin:
+			depth++
+			seen[ev.Name] = true
+		case telemetry.KindEnd:
+			depth--
+			if depth < 0 {
+				t.Fatal("End without Begin")
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced spans: depth %d at end", depth)
+	}
+	for _, name := range []string{"cq.base", "cq.reduce.up", "cq.reduce.down", "cq.output"} {
+		if !seen[name] {
+			t.Fatalf("missing %s span; saw %v", name, seen)
+		}
+	}
+}

@@ -1,15 +1,12 @@
 package cq
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"hypertree/internal/csp"
 	"hypertree/internal/decomp"
-	"hypertree/internal/elim"
-	"hypertree/internal/heur"
-	"hypertree/internal/order"
 )
 
 // Evaluate answers the query over the database by building a generalized
@@ -18,144 +15,28 @@ import (
 // (bottom-up + top-down semijoins) followed by a bottom-up join pass that
 // keeps only head and connector variables, giving output-polynomial
 // evaluation for queries of bounded ghw. Results use set semantics and are
-// sorted for determinism.
+// sorted for determinism. Evaluate is EvaluateCtx without cancellation.
 func Evaluate(q *Query, db *Database) ([][]string, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	h := q.Hypergraph()
-	o, _ := heur.MinFill(elim.New(h.PrimalGraph()), rand.New(rand.NewSource(1)))
-	d := order.GHD(h, o, nil, true)
-	return EvaluateWith(q, db, d)
+	return EvaluateCtx(context.Background(), q, db, EvalOptions{})
 }
 
 // Boolean answers a Boolean query: does any assignment satisfy the body?
+// It stops after the bottom-up full reducer (see BooleanCtx) instead of
+// materializing answers.
 func Boolean(q *Query, db *Database) (bool, error) {
-	rows, err := Evaluate(q, db)
-	if err != nil {
-		return false, err
-	}
-	return len(rows) > 0, nil
+	return BooleanCtx(context.Background(), q, db, EvalOptions{})
 }
 
 // EvaluateWith answers the query using a caller-supplied decomposition of
 // q.Hypergraph() (e.g. a width-optimal one from the exact searches).
 func EvaluateWith(q *Query, db *Database, d *decomp.Decomposition) ([][]string, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	in, err := newInstance(q, db, d.H.NumVertices())
-	if err != nil {
-		return nil, err
-	}
-	if in.empty {
-		return nil, nil
-	}
-	d.Complete()
+	return EvaluateWithCtx(context.Background(), q, db, d, EvalOptions{})
+}
 
-	// Per-node relations R_p = π_χ(⋈ λ atoms).
-	nodeRel := make(map[*decomp.Node]*csp.Relation, d.NumNodes())
-	for _, n := range d.Nodes() {
-		if len(n.Lambda) == 0 {
-			nodeRel[n] = &csp.Relation{Tuples: [][]int{{}}}
-			continue
-		}
-		joined := in.atomRel[n.Lambda[0]].Clone()
-		for _, e := range n.Lambda[1:] {
-			joined = csp.Join(joined, in.atomRel[e])
-			if joined.Size() == 0 {
-				break
-			}
-		}
-		nodeRel[n] = csp.Project(joined, n.Chi.Slice())
-		if nodeRel[n].Size() == 0 {
-			return nil, nil
-		}
-	}
-
-	// Full reducer.
-	post := postorder(d)
-	for _, n := range post {
-		if n.Parent == nil || len(nodeRel[n.Parent].Scope) == 0 || len(nodeRel[n].Scope) == 0 {
-			continue
-		}
-		nodeRel[n.Parent] = csp.Semijoin(nodeRel[n.Parent], nodeRel[n])
-		if nodeRel[n.Parent].Size() == 0 {
-			return nil, nil
-		}
-	}
-	pre := preorder(d)
-	for _, n := range pre {
-		for _, ch := range n.Children {
-			if len(nodeRel[n].Scope) == 0 || len(nodeRel[ch].Scope) == 0 {
-				continue
-			}
-			nodeRel[ch] = csp.Semijoin(nodeRel[ch], nodeRel[n])
-		}
-	}
-
-	// Output pass: postorder joins keeping head ∪ connector variables.
-	headSet := map[int]bool{}
-	for _, hv := range q.Head {
-		v := in.varIndex[hv]
-		headSet[v] = true
-	}
-	result := make(map[*decomp.Node]*csp.Relation, d.NumNodes())
-	for _, n := range post {
-		joined := nodeRel[n]
-		for _, ch := range n.Children {
-			joined = csp.Join(joined, result[ch])
-		}
-		var keep []int
-		seen := map[int]bool{}
-		for _, v := range joined.Scope {
-			inParent := n.Parent != nil && n.Parent.Chi.Contains(v)
-			if (headSet[v] || inParent) && !seen[v] {
-				seen[v] = true
-				keep = append(keep, v)
-			}
-		}
-		result[n] = csp.Project(joined, keep)
-	}
-
-	root := result[d.Root]
-	// Assemble output rows in head order.
-	colOf := make([]int, len(q.Head))
-	for i, hv := range q.Head {
-		v := in.varIndex[hv]
-		colOf[i] = -1
-		for j, sv := range root.Scope {
-			if sv == v {
-				colOf[i] = j
-			}
-		}
-		if colOf[i] < 0 {
-			return nil, fmt.Errorf("cq: internal error: head variable %s lost during evaluation", hv)
-		}
-	}
-	if len(q.Head) == 0 {
-		// Boolean query: report one empty row when satisfiable.
-		if root.Size() > 0 {
-			return [][]string{{}}, nil
-		}
-		return nil, nil
-	}
-	dedupe := map[string]bool{}
-	var rows [][]string
-	for _, t := range root.Tuples {
-		row := make([]string, len(q.Head))
-		key := ""
-		for i, c := range colOf {
-			row[i] = in.value(t[c])
-			key += row[i] + "\x00"
-		}
-		if !dedupe[key] {
-			dedupe[key] = true
-			rows = append(rows, row)
-		}
-	}
-	sortRows(rows)
-	return rows, nil
+// errHeadLost reports the internal invariant violation of a head variable
+// missing from the root output relation.
+func errHeadLost(hv string) error {
+	return fmt.Errorf("cq: internal error: head variable %s lost during evaluation", hv)
 }
 
 // instance interns the database against the query structure.
@@ -280,32 +161,6 @@ func (in *instance) intern(s string) int {
 }
 
 func (in *instance) value(i int) string { return in.dict[i] }
-
-func postorder(d *decomp.Decomposition) []*decomp.Node {
-	var out []*decomp.Node
-	var rec func(n *decomp.Node)
-	rec = func(n *decomp.Node) {
-		for _, c := range n.Children {
-			rec(c)
-		}
-		out = append(out, n)
-	}
-	rec(d.Root)
-	return out
-}
-
-func preorder(d *decomp.Decomposition) []*decomp.Node {
-	var out []*decomp.Node
-	var rec func(n *decomp.Node)
-	rec = func(n *decomp.Node) {
-		out = append(out, n)
-		for _, c := range n.Children {
-			rec(c)
-		}
-	}
-	rec(d.Root)
-	return out
-}
 
 func sortRows(rows [][]string) {
 	sort.Slice(rows, func(i, j int) bool {

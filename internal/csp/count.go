@@ -90,16 +90,13 @@ func countOverTree(c *CSP, d *decomp.Decomposition, nodeRel map[*decomp.Node]*Re
 			cr := nodeRel[ch]
 			cw := weights[ch]
 			shared := sharedVars(cr, r)
-			// Index child tuples by shared values, summing weights, and
-			// also track the variables the child adds ("private"): the sum
+			// Group child tuples by shared values, summing weights: the sum
 			// of weights of matching child tuples is the number of subtree
 			// extensions.
-			sums := make(map[string]int)
-			for ci, ct := range cr.Tuples {
-				sums[cr.key(ct, shared)] += cw[ci]
-			}
+			sum := groupSums(cr, shared, cw)
+			rShared := r.positions(shared)
 			for ti, t := range r.Tuples {
-				w[ti] *= sums[r.key(t, shared)]
+				w[ti] *= sum(t, rShared)
 			}
 		}
 		weights[n] = w

@@ -265,7 +265,7 @@ func randomRelation(rng *rand.Rand, scope []int, domainSize int) *Relation {
 		for j := range t {
 			t[j] = rng.Intn(domainSize)
 		}
-		k := (&Relation{Scope: scope, Tuples: [][]int{t}}).key(t, scope)
+		k := refKey(&Relation{Scope: scope, Tuples: [][]int{t}}, t, scope)
 		if !seen[k] {
 			seen[k] = true
 			tuples = append(tuples, t)

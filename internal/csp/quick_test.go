@@ -28,8 +28,7 @@ func relFromSeed(seed int64, scopeBase int) *Relation {
 		for j := range t {
 			t[j] = rng.Intn(3)
 		}
-		r := &Relation{Scope: scope}
-		k := r.key(t, scope)
+		k := refKey(&Relation{Scope: scope}, t, scope)
 		if !seen[k] {
 			seen[k] = true
 			tuples = append(tuples, t)
@@ -55,10 +54,10 @@ func TestQuickSemijoinSubsetIdempotent(t *testing.T) {
 		// Every surviving tuple must appear in a.
 		inA := map[string]bool{}
 		for _, ta := range a.Tuples {
-			inA[a.key(ta, a.Scope)] = true
+			inA[refKey(a, ta, a.Scope)] = true
 		}
 		for _, ts := range sj.Tuples {
-			if !inA[sj.key(ts, sj.Scope)] {
+			if !inA[refKey(sj, ts, sj.Scope)] {
 				return false
 			}
 		}

@@ -8,6 +8,13 @@ import (
 
 // Relation is a finite relation over a scope of variable indices: Tuples[i]
 // is a row whose j-th entry is the value of variable Scope[j].
+//
+// The relational kernels below (Join, Semijoin, Project) never mutate their
+// inputs, but for allocation economy their outputs may alias input rows:
+// Semijoin's output shares the surviving rows of its left input, and a
+// degenerate Join (no right-private columns) shares rows likewise. Callers
+// must therefore treat tuple rows as immutable once handed to a kernel —
+// which every consumer in this repository already does.
 type Relation struct {
 	Scope  []int
 	Tuples [][]int
@@ -55,17 +62,118 @@ func sharedVars(a, b *Relation) []int {
 	return shared
 }
 
-// key renders the values of tuple t (from relation r) at the given
-// variables as a hashable string.
-func (r *Relation) key(t []int, vars []int) string {
-	var b strings.Builder
-	for _, v := range vars {
-		fmt.Fprintf(&b, "%d,", t[r.pos(v)])
+// positions maps each of vars to its scope position in r. Kernels call
+// this once per operation and index tuples through the result, instead of
+// running an O(arity) pos() scan per tuple.
+func (r *Relation) positions(vars []int) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = r.pos(v)
 	}
-	return b.String()
+	return out
 }
 
-// Join returns the natural join a ⋈ b.
+// hashTuple is the 64-bit tuple hash of the kernels: FNV-1a over the values
+// of t at the given positions, finished with a splitmix64-style avalanche
+// (the bitset.Set.Hash idiom) so consecutive integer values — the common
+// case for interned constants — spread over the whole word. Collisions are
+// possible by construction; every kernel confirms hash matches with
+// equalAt before treating two tuples as joinable.
+func hashTuple(t []int, pos []int) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for _, p := range pos {
+		v := uint64(t[p])
+		// Hash all 8 bytes of the value word at once: FNV-1a's per-byte
+		// loop costs 8x more and buys nothing for interned dense ints.
+		h = (h ^ v) * prime64
+	}
+	return relHash(h)
+}
+
+// relHash finishes a tuple hash. It is a package variable solely as a test
+// seam: collision tests swap in a degenerate finisher (e.g. h&1) to force
+// every bucket into its equality-verified chain, proving correctness does
+// not lean on hash quality. Production code never reassigns it.
+var relHash func(uint64) uint64 = mix64
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// equalAt reports whether tuple ta at positions pa equals tuple tb at
+// positions pb (the collision-chain verification step).
+func equalAt(ta []int, pa []int, tb []int, pb []int) bool {
+	for i, p := range pa {
+		if ta[p] != tb[pb[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleIndex is a hash index over one relation's tuples keyed by the values
+// at a fixed set of column positions: buckets chain tuple indices, and
+// lookups verify candidates by equality, so hash collisions cost a probe
+// but never an answer.
+type tupleIndex struct {
+	rel     *Relation
+	pos     []int
+	buckets map[uint64][]int32
+}
+
+// indexTuples builds a tupleIndex over r keyed by the columns at pos.
+func indexTuples(r *Relation, pos []int) *tupleIndex {
+	idx := &tupleIndex{
+		rel:     r,
+		pos:     pos,
+		buckets: make(map[uint64][]int32, len(r.Tuples)),
+	}
+	for i, t := range r.Tuples {
+		h := hashTuple(t, pos)
+		idx.buckets[h] = append(idx.buckets[h], int32(i))
+	}
+	return idx
+}
+
+// lookup appends to dst the indices of tuples matching probe (a tuple of
+// another relation, read through probePos) and returns the extended slice.
+// The dst convention lets the join loop reuse one scratch slice across
+// probes instead of allocating per tuple.
+func (idx *tupleIndex) lookup(dst []int32, probe []int, probePos []int) []int32 {
+	h := hashTuple(probe, probePos)
+	for _, ti := range idx.buckets[h] {
+		if equalAt(probe, probePos, idx.rel.Tuples[ti], idx.pos) {
+			dst = append(dst, ti)
+		}
+	}
+	return dst
+}
+
+// contains reports whether some indexed tuple matches probe.
+func (idx *tupleIndex) contains(probe []int, probePos []int) bool {
+	h := hashTuple(probe, probePos)
+	for _, ti := range idx.buckets[h] {
+		if equalAt(probe, probePos, idx.rel.Tuples[ti], idx.pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// Join returns the natural join a ⋈ b: a hash join on the shared variables,
+// with b indexed once and a probing. All position maps are computed once up
+// front; the per-tuple work is one hash, the chain probes, and one output
+// row allocation per result tuple.
 func Join(a, b *Relation) *Relation {
 	shared := sharedVars(a, b)
 	// Output scope: a's scope followed by b's private variables.
@@ -77,20 +185,36 @@ func Join(a, b *Relation) *Relation {
 			bPrivate = append(bPrivate, v)
 		}
 	}
-	// Hash join on the shared variables.
-	index := make(map[string][][]int)
-	for _, tb := range b.Tuples {
-		k := b.key(tb, shared)
-		index[k] = append(index[k], tb)
-	}
+	aShared := a.positions(shared)
+	bShared := b.positions(shared)
+	bPriv := b.positions(bPrivate)
+
+	idx := indexTuples(b, bShared)
 	out := &Relation{Scope: outScope}
+	var matches []int32 // scratch reused across probes
+	rowLen := len(outScope)
+	var arena []int // output rows are carved from block allocations
+	const arenaRows = 512
 	for _, ta := range a.Tuples {
-		k := a.key(ta, shared)
-		for _, tb := range index[k] {
-			row := make([]int, 0, len(outScope))
-			row = append(row, ta...)
-			for _, v := range bPrivate {
-				row = append(row, tb[b.pos(v)])
+		matches = idx.lookup(matches[:0], ta, aShared)
+		if len(bPriv) == 0 {
+			// b adds no columns: output rows alias a's row, once per match
+			// (same multiplicity as the general path, no per-tuple clone).
+			for range matches {
+				out.Tuples = append(out.Tuples, ta)
+			}
+			continue
+		}
+		for _, ti := range matches {
+			if len(arena) < rowLen {
+				arena = make([]int, arenaRows*rowLen)
+			}
+			row := arena[:rowLen:rowLen]
+			arena = arena[rowLen:]
+			copy(row, ta)
+			tb := b.Tuples[ti]
+			for i, p := range bPriv {
+				row[len(a.Scope)+i] = tb[p]
 			}
 			out.Tuples = append(out.Tuples, row)
 		}
@@ -99,6 +223,7 @@ func Join(a, b *Relation) *Relation {
 }
 
 // Semijoin returns a ⋉ b: the tuples of a that join with some tuple of b.
+// Surviving rows are shared with a, not cloned — a semijoin only filters.
 func Semijoin(a, b *Relation) *Relation {
 	shared := sharedVars(a, b)
 	if len(shared) == 0 {
@@ -106,23 +231,26 @@ func Semijoin(a, b *Relation) *Relation {
 		if len(b.Tuples) == 0 {
 			return &Relation{Scope: append([]int(nil), a.Scope...)}
 		}
-		return a.Clone()
+		out := &Relation{Scope: append([]int(nil), a.Scope...)}
+		out.Tuples = append(out.Tuples, a.Tuples...)
+		return out
 	}
-	seen := make(map[string]bool)
-	for _, tb := range b.Tuples {
-		seen[b.key(tb, shared)] = true
-	}
+	aShared := a.positions(shared)
+	bShared := b.positions(shared)
+	idx := indexTuples(b, bShared)
 	out := &Relation{Scope: append([]int(nil), a.Scope...)}
 	for _, ta := range a.Tuples {
-		if seen[a.key(ta, shared)] {
-			out.Tuples = append(out.Tuples, append([]int(nil), ta...))
+		if idx.contains(ta, aShared) {
+			out.Tuples = append(out.Tuples, ta)
 		}
 	}
 	return out
 }
 
 // Project returns π_vars(r) with duplicates removed. Variables not in r's
-// scope are ignored.
+// scope are ignored. Deduplication hashes the projected row and verifies
+// candidates against already-kept output rows, so collisions never drop a
+// distinct tuple.
 func Project(r *Relation, vars []int) *Relation {
 	var keep []int
 	for _, v := range vars {
@@ -130,20 +258,70 @@ func Project(r *Relation, vars []int) *Relation {
 			keep = append(keep, v)
 		}
 	}
+	keepPos := r.positions(keep)
 	out := &Relation{Scope: keep}
-	seen := make(map[string]bool)
+	// identity positions of an output row (its columns are already 0..k-1).
+	outPos := make([]int, len(keep))
+	for i := range outPos {
+		outPos[i] = i
+	}
+	seen := make(map[uint64][]int32, len(r.Tuples))
 	for _, t := range r.Tuples {
+		h := hashTuple(t, keepPos)
+		dup := false
+		for _, oi := range seen[h] {
+			if equalAt(t, keepPos, out.Tuples[oi], outPos) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		row := make([]int, len(keep))
-		for i, v := range keep {
-			row[i] = t[r.pos(v)]
+		for i, p := range keepPos {
+			row[i] = t[p]
 		}
-		k := fmt.Sprint(row)
-		if !seen[k] {
-			seen[k] = true
-			out.Tuples = append(out.Tuples, row)
-		}
+		seen[h] = append(seen[h], int32(len(out.Tuples)))
+		out.Tuples = append(out.Tuples, row)
 	}
 	return out
+}
+
+// groupSums sums weight[i] over r's tuples grouped by their values at the
+// given variables, returning a lookup function for other relations' tuples.
+// This is the hashed replacement of the old string-keyed count aggregation.
+func groupSums(r *Relation, vars []int, weight []int) func(t []int, tPos []int) int {
+	rPos := r.positions(vars)
+	type group struct {
+		tuple int32 // representative tuple index in r
+		sum   int
+	}
+	buckets := make(map[uint64][]group, len(r.Tuples))
+	for i, t := range r.Tuples {
+		h := hashTuple(t, rPos)
+		gs := buckets[h]
+		found := false
+		for gi := range gs {
+			if equalAt(t, rPos, r.Tuples[gs[gi].tuple], rPos) {
+				gs[gi].sum += weight[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			buckets[h] = append(gs, group{tuple: int32(i), sum: weight[i]})
+		}
+	}
+	return func(t []int, tPos []int) int {
+		h := hashTuple(t, tPos)
+		for _, g := range buckets[h] {
+			if equalAt(t, tPos, r.Tuples[g.tuple], rPos) {
+				return g.sum
+			}
+		}
+		return 0
+	}
 }
 
 // Sorted returns the tuples in lexicographic order (for stable tests).

@@ -1,0 +1,277 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// This file pins the hashed kernels to the string-key implementations they
+// replaced: refJoin/refSemijoin/refProject below are verbatim ports of the
+// pre-integer-hash kernels, and the tests assert tuple-for-tuple agreement
+// on randomized relations — including under a deliberately degenerate hash
+// that forces every tuple into colliding buckets, proving the collision
+// chains are verified by equality rather than trusted.
+
+// refKey renders the values of tuple t (from relation r) at the given
+// variables as a hashable string — the old kernel key function.
+func refKey(r *Relation, t []int, vars []int) string {
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%d,", t[r.pos(v)])
+	}
+	return b.String()
+}
+
+// refJoin is the old string-keyed natural join.
+func refJoin(a, b *Relation) *Relation {
+	shared := sharedVars(a, b)
+	outScope := append([]int(nil), a.Scope...)
+	var bPrivate []int
+	for _, v := range b.Scope {
+		if a.pos(v) < 0 {
+			outScope = append(outScope, v)
+			bPrivate = append(bPrivate, v)
+		}
+	}
+	index := make(map[string][][]int)
+	for _, tb := range b.Tuples {
+		k := refKey(b, tb, shared)
+		index[k] = append(index[k], tb)
+	}
+	out := &Relation{Scope: outScope}
+	for _, ta := range a.Tuples {
+		k := refKey(a, ta, shared)
+		for _, tb := range index[k] {
+			row := make([]int, 0, len(outScope))
+			row = append(row, ta...)
+			for _, v := range bPrivate {
+				row = append(row, tb[b.pos(v)])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// refSemijoin is the old string-keyed semijoin.
+func refSemijoin(a, b *Relation) *Relation {
+	shared := sharedVars(a, b)
+	if len(shared) == 0 {
+		if len(b.Tuples) == 0 {
+			return &Relation{Scope: append([]int(nil), a.Scope...)}
+		}
+		return a.Clone()
+	}
+	seen := make(map[string]bool)
+	for _, tb := range b.Tuples {
+		seen[refKey(b, tb, shared)] = true
+	}
+	out := &Relation{Scope: append([]int(nil), a.Scope...)}
+	for _, ta := range a.Tuples {
+		if seen[refKey(a, ta, shared)] {
+			out.Tuples = append(out.Tuples, append([]int(nil), ta...))
+		}
+	}
+	return out
+}
+
+// refProject is the old fmt.Sprint-deduped projection.
+func refProject(r *Relation, vars []int) *Relation {
+	var keep []int
+	for _, v := range vars {
+		if r.pos(v) >= 0 {
+			keep = append(keep, v)
+		}
+	}
+	out := &Relation{Scope: keep}
+	seen := make(map[string]bool)
+	for _, t := range r.Tuples {
+		row := make([]int, len(keep))
+		for i, v := range keep {
+			row[i] = t[r.pos(v)]
+		}
+		k := fmt.Sprint(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// randRelation builds a random relation whose scope is a random subset of
+// universe variables and whose values come from a small domain (so joins
+// actually match).
+func randRelation(rng *rand.Rand, universe, maxArity, maxTuples, domain int) *Relation {
+	arity := 1 + rng.Intn(maxArity)
+	perm := rng.Perm(universe)
+	scope := append([]int(nil), perm[:arity]...)
+	r := &Relation{Scope: scope}
+	for i := 0; i < rng.Intn(maxTuples+1); i++ {
+		t := make([]int, arity)
+		for j := range t {
+			t[j] = rng.Intn(domain)
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+// sameRelation asserts equal scope and equal sorted tuple sets.
+func sameRelation(t *testing.T, op string, got, want *Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Scope, want.Scope) {
+		t.Fatalf("%s: scope %v, want %v", op, got.Scope, want.Scope)
+	}
+	gs, ws := got.Sorted(), want.Sorted()
+	if !reflect.DeepEqual(gs, ws) {
+		t.Fatalf("%s: tuples\n got %v\nwant %v", op, gs, ws)
+	}
+}
+
+func testKernelsAgainstReference(t *testing.T, trials int) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		a := randRelation(rng, 6, 4, 24, 3)
+		b := randRelation(rng, 6, 4, 24, 3)
+		sameRelation(t, "Join", Join(a, b), refJoin(a, b))
+		sameRelation(t, "Semijoin", Semijoin(a, b), refSemijoin(a, b))
+		var keep []int
+		for _, v := range a.Scope {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		keep = append(keep, 99) // out-of-scope vars must be ignored
+		sameRelation(t, "Project", Project(a, keep), refProject(a, keep))
+	}
+}
+
+func TestKernelsMatchStringKeyReference(t *testing.T) {
+	testKernelsAgainstReference(t, 300)
+}
+
+// withDegenerateHash runs f with the tuple-hash finisher collapsed to two
+// buckets, so essentially every lookup walks an equality-verified collision
+// chain. Not parallel-safe: it swaps a package-level seam.
+func withDegenerateHash(t *testing.T, f func()) {
+	t.Helper()
+	orig := relHash
+	relHash = func(h uint64) uint64 { return h & 1 }
+	defer func() { relHash = orig }()
+	f()
+}
+
+func TestKernelsSurviveForcedHashCollisions(t *testing.T) {
+	withDegenerateHash(t, func() {
+		testKernelsAgainstReference(t, 120)
+	})
+}
+
+func TestGroupSumsSurvivesForcedHashCollisions(t *testing.T) {
+	check := func() {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 100; trial++ {
+			child := randRelation(rng, 5, 3, 16, 3)
+			parent := randRelation(rng, 5, 3, 16, 3)
+			w := make([]int, len(child.Tuples))
+			for i := range w {
+				w[i] = 1 + rng.Intn(4)
+			}
+			shared := sharedVars(child, parent)
+			sum := groupSums(child, shared, w)
+			pPos := parent.positions(shared)
+			for _, pt := range parent.Tuples {
+				want := 0
+				for ci, ct := range child.Tuples {
+					if equalAt(pt, pPos, ct, child.positions(shared)) {
+						want += w[ci]
+					}
+				}
+				if got := sum(pt, pPos); got != want {
+					t.Fatalf("trial %d: groupSums = %d, want %d", trial, got, want)
+				}
+			}
+		}
+	}
+	check()
+	withDegenerateHash(t, check)
+}
+
+// TestSemijoinAliasesLeftRows pins the allocation contract: semijoin output
+// rows are shared with the left input, not cloned.
+func TestSemijoinAliasesLeftRows(t *testing.T) {
+	a := NewRelation([]int{0, 1}, [][]int{{1, 2}, {3, 4}})
+	b := NewRelation([]int{1}, [][]int{{2}})
+	out := Semijoin(a, b)
+	if out.Size() != 1 {
+		t.Fatalf("size = %d", out.Size())
+	}
+	if &out.Tuples[0][0] != &a.Tuples[0][0] {
+		t.Fatal("semijoin cloned a surviving row; expected aliasing")
+	}
+}
+
+// benchRelations builds a pair of relations sized for the allocation
+// benchmarks: 64-way key overlap so joins produce real output.
+func benchRelations() (*Relation, *Relation) {
+	rng := rand.New(rand.NewSource(42))
+	a := &Relation{Scope: []int{0, 1, 2}}
+	b := &Relation{Scope: []int{1, 2, 3}}
+	for i := 0; i < 1000; i++ {
+		a.Tuples = append(a.Tuples, []int{rng.Intn(50), rng.Intn(8), rng.Intn(8)})
+		b.Tuples = append(b.Tuples, []int{rng.Intn(8), rng.Intn(8), rng.Intn(50)})
+	}
+	return a, b
+}
+
+func BenchmarkJoinHash(bm *testing.B) {
+	a, b := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		Join(a, b)
+	}
+}
+
+func BenchmarkJoinStringKey(bm *testing.B) {
+	a, b := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		refJoin(a, b)
+	}
+}
+
+func BenchmarkSemijoinHash(bm *testing.B) {
+	a, b := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		Semijoin(a, b)
+	}
+}
+
+func BenchmarkSemijoinStringKey(bm *testing.B) {
+	a, b := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		refSemijoin(a, b)
+	}
+}
+
+func BenchmarkProjectHash(bm *testing.B) {
+	a, _ := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		Project(a, []int{1, 2})
+	}
+}
+
+func BenchmarkProjectStringKey(bm *testing.B) {
+	a, _ := benchRelations()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		refProject(a, []int{1, 2})
+	}
+}

@@ -41,6 +41,11 @@ type Stats struct {
 	coverMisses     atomic.Int64 // cover-oracle misses (covers actually solved)
 	coverEvictions  atomic.Int64 // cover-oracle bags evicted by the memory bound
 
+	// Query-engine counters (the cq Yannakakis evaluator).
+	cqJoinTuples     atomic.Int64 // tuples emitted by join kernels
+	cqSemijoinTuples atomic.Int64 // tuples surviving semijoin kernels
+	cqOutputJoins    atomic.Int64 // output-pass join operations (0 for Boolean runs)
+
 	// Memory telemetry, fed by MemSampler (all zero when no sampler ran).
 	memHeapHighWater atomic.Int64 // max observed live-heap bytes
 	memTotalAlloc    atomic.Int64 // cumulative allocated bytes over the run
@@ -156,6 +161,29 @@ func (s *Stats) HeurStep() {
 	}
 }
 
+// CQJoin counts tuples emitted by one query-engine join. Safe on nil.
+func (s *Stats) CQJoin(tuples int64) {
+	if s != nil {
+		s.cqJoinTuples.Add(tuples)
+	}
+}
+
+// CQSemijoin counts tuples surviving one query-engine semijoin. Safe on
+// nil.
+func (s *Stats) CQSemijoin(tuples int64) {
+	if s != nil {
+		s.cqSemijoinTuples.Add(tuples)
+	}
+}
+
+// CQOutputJoin counts one output-pass join operation of the evaluator. A
+// Boolean run performs none — the regression tests assert this stays 0.
+func (s *Stats) CQOutputJoin() {
+	if s != nil {
+		s.cqOutputJoins.Add(1)
+	}
+}
+
 // AddCover folds a cover-oracle counter snapshot into s. The oracle keeps
 // its own atomics while a run is live (it may be shared by every portfolio
 // worker) and the facade folds the totals in once per run, so per-worker
@@ -207,6 +235,11 @@ type Snapshot struct {
 	CoverMisses     int64 `json:"cover_misses"`
 	CoverEvictions  int64 `json:"cover_evictions"`
 
+	// Query-engine counters (zero unless a cq evaluation ran).
+	CQJoinTuples     int64 `json:"cq_join_tuples"`
+	CQSemijoinTuples int64 `json:"cq_semijoin_tuples"`
+	CQOutputJoins    int64 `json:"cq_output_joins"`
+
 	// Memory telemetry (zero unless a MemSampler ran over the Stats).
 	HeapHighWaterBytes int64 `json:"heap_high_water_bytes"`
 	TotalAllocBytes    int64 `json:"total_alloc_bytes"`
@@ -236,6 +269,10 @@ func (s *Stats) Snapshot() Snapshot {
 		CoverMisses:     s.coverMisses.Load(),
 		CoverEvictions:  s.coverEvictions.Load(),
 
+		CQJoinTuples:     s.cqJoinTuples.Load(),
+		CQSemijoinTuples: s.cqSemijoinTuples.Load(),
+		CQOutputJoins:    s.cqOutputJoins.Load(),
+
 		HeapHighWaterBytes: s.memHeapHighWater.Load(),
 		TotalAllocBytes:    s.memTotalAlloc.Load(),
 		GCPauseTotalNs:     s.memGCPauseNs.Load(),
@@ -262,6 +299,10 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		CoverHits:       a.CoverHits + b.CoverHits,
 		CoverMisses:     a.CoverMisses + b.CoverMisses,
 		CoverEvictions:  a.CoverEvictions + b.CoverEvictions,
+
+		CQJoinTuples:     a.CQJoinTuples + b.CQJoinTuples,
+		CQSemijoinTuples: a.CQSemijoinTuples + b.CQSemijoinTuples,
+		CQOutputJoins:    a.CQOutputJoins + b.CQOutputJoins,
 
 		HeapHighWaterBytes: max64(a.HeapHighWaterBytes, b.HeapHighWaterBytes),
 		TotalAllocBytes:    a.TotalAllocBytes + b.TotalAllocBytes,
@@ -297,6 +338,9 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.coverHits.Add(b.CoverHits)
 	s.coverMisses.Add(b.CoverMisses)
 	s.coverEvictions.Add(b.CoverEvictions)
+	s.cqJoinTuples.Add(b.CQJoinTuples)
+	s.cqSemijoinTuples.Add(b.CQSemijoinTuples)
+	s.cqOutputJoins.Add(b.CQOutputJoins)
 	// Memory: high-water folds as a max (shared heap), totals accumulate.
 	// Portfolio workers carry zero mem fields by design — the sampler is
 	// attached to the run-level Stats — so this is usually a no-op.
