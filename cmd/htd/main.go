@@ -439,10 +439,18 @@ func cmdQuery(args []string) error {
 	jobs := fs.Int("jobs", 0, "max concurrent evaluation workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms (0 = none); on expiry evaluation aborts")
 	boolOnly := fs.Bool("boolean", false, "decide satisfiability only (stops after the full reducer, no answers materialized)")
+	batchMode := fs.Bool("batch", false, "batch mode: the query source holds one query per line, evaluated with shared base-relation interning (default min-fill plan per shape)")
+	watchFile := fs.String("watch", "", "incremental mode: after answering, apply the delta stream from this file (+rel\\tv1\\tv2 inserts, -rel\\t... deletes) through a standing query")
 	of := addObsFlags(fs)
 	fs.Parse(args)
 	if (*queryText == "") == (*queryFile == "") || fs.NArg() != 1 {
 		return fmt.Errorf("query: usage: htd query (-q 'ans(X) :- r(X,Y).' | -f query.cq) datadir")
+	}
+	if *batchMode && (*boolOnly || *watchFile != "") {
+		return fmt.Errorf("query: -batch is exclusive with -boolean and -watch")
+	}
+	if *watchFile != "" && *boolOnly {
+		return fmt.Errorf("query: -watch is exclusive with -boolean")
 	}
 	text := *queryText
 	if *queryFile != "" {
@@ -451,10 +459,6 @@ func cmdQuery(args []string) error {
 			return err
 		}
 		text = string(data)
-	}
-	q, err := htd.ParseQuery(text)
-	if err != nil {
-		return err
 	}
 	db, err := loadQueryDatabase(fs.Arg(0))
 	if err != nil {
@@ -469,6 +473,13 @@ func cmdQuery(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *batchMode {
+		return runQueryBatch(ctx, text, db, fs.Arg(0), *jobs, of)
+	}
+	q, err := htd.ParseQuery(text)
+	if err != nil {
+		return err
 	}
 	h := q.Hypergraph()
 	fmt.Printf("query hypergraph: %d variables, %d atoms, acyclic: %v\n",
@@ -486,6 +497,9 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("decomposition: method %s, ghw upper bound %d, %d nodes\n",
 		m, d.GHWidth(), d.NumNodes())
+	if *watchFile != "" {
+		return runQueryWatch(ctx, q, db, d, *watchFile, opt, s, fs.Arg(0), m.String(), start)
+	}
 	var rows [][]string
 	var sat bool
 	if *boolOnly {
@@ -510,6 +524,110 @@ func cmdQuery(args []string) error {
 		return nil
 	}
 	fmt.Printf("%d answers (%s)\n", len(rows), wall.Round(time.Millisecond))
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, "\t"))
+	}
+	return nil
+}
+
+// runQueryBatch evaluates a multi-query source (one query per line, blank
+// lines and # comments skipped) in one shared-base batch: hashed base
+// relations are interned once and shape-identical queries reuse one
+// decomposition.
+func runQueryBatch(ctx context.Context, text string, db *htd.Database, datadir string, jobs int, of *obsFlags) error {
+	var qs []*htd.Query
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := htd.ParseQuery(line)
+		if err != nil {
+			return fmt.Errorf("query: line %d: %w", ln+1, err)
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return fmt.Errorf("query: -batch source holds no queries")
+	}
+	s := of.start()
+	opt := htd.Options{Jobs: jobs, Stats: s.stats, Observer: s.obs, Trace: s.trace}
+	start := time.Now()
+	results, err := htd.AnswerQueryBatchCtx(ctx, qs, db, opt)
+	wall := time.Since(start)
+	if ferr := s.finish("query-batch", datadir, "minfill", 0, htd.Result{}, err, wall); ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	s.summarize(htd.Result{})
+	total := 0
+	for i, rows := range results {
+		fmt.Printf("-- %s\n%d answers\n", qs[i], len(rows))
+		for _, r := range rows {
+			fmt.Println(strings.Join(r, "\t"))
+		}
+		total += len(rows)
+	}
+	fmt.Printf("batch: %d queries, %d answers (%s)\n", len(qs), total, wall.Round(time.Millisecond))
+	return nil
+}
+
+// runQueryWatch serves the query incrementally: it opens a standing query
+// over the loaded database, then applies the delta stream from watchFile —
+// one delta per line, "+rel\tv1\tv2" inserting and "-rel\tv1\tv2" deleting
+// a tuple — re-answering after each via delta propagation. Blank lines and
+// # comments are skipped. The final answer set is printed at the end.
+func runQueryWatch(ctx context.Context, q *htd.Query, db *htd.Database, d *htd.Decomposition, watchFile string, opt htd.Options, s *obsSession, datadir, method string, start time.Time) error {
+	data, err := os.ReadFile(watchFile)
+	if err != nil {
+		return err
+	}
+	sq, err := htd.OpenStandingQueryWith(ctx, q, db, d, opt)
+	finishWatch := func(runErr error) error {
+		wall := time.Since(start)
+		if ferr := s.finish("query-watch", datadir, method, float64(d.GHWidth()), htd.Result{}, runErr, wall); ferr != nil {
+			return ferr
+		}
+		return runErr
+	}
+	if err != nil {
+		return finishWatch(err)
+	}
+	fmt.Printf("standing: %d answers initially\n", len(sq.Answers()))
+	applied := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op := line[0]
+		if op != '+' && op != '-' {
+			return finishWatch(fmt.Errorf("query: %s:%d: delta must start with + or -", watchFile, ln+1))
+		}
+		parts := strings.Split(line[1:], "\t")
+		if len(parts) < 1 || parts[0] == "" {
+			return finishWatch(fmt.Errorf("query: %s:%d: missing relation name", watchFile, ln+1))
+		}
+		rel, tuple := parts[0], parts[1:]
+		if op == '+' {
+			err = sq.Insert(ctx, rel, tuple...)
+		} else {
+			err = sq.Delete(ctx, rel, tuple...)
+		}
+		if err != nil {
+			return finishWatch(fmt.Errorf("query: %s:%d: %w", watchFile, ln+1, err))
+		}
+		applied++
+		fmt.Printf("delta %c%s(%s): %d answers\n", op, rel, strings.Join(tuple, ", "), len(sq.Answers()))
+	}
+	if err := finishWatch(nil); err != nil {
+		return err
+	}
+	s.summarize(htd.Result{})
+	rows := sq.Answers()
+	fmt.Printf("%d answers after %d deltas (%s)\n", len(rows), applied, time.Since(start).Round(time.Millisecond))
 	for _, r := range rows {
 		fmt.Println(strings.Join(r, "\t"))
 	}

@@ -197,6 +197,12 @@ func (s *obsSession) summarize(res htd.Result) {
 			"cq_output_joins", snap.CQOutputJoins,
 		)
 	}
+	if snap.CQDeltaTuples > 0 || snap.CQBatchSharedJoins > 0 {
+		attrs = append(attrs,
+			"cq_delta_tuples", snap.CQDeltaTuples,
+			"cq_batch_shared_joins", snap.CQBatchSharedJoins,
+		)
+	}
 	if res.Winner != "" {
 		attrs = append(attrs, "winner", res.Winner)
 	}

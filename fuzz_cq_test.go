@@ -4,10 +4,15 @@
 // fuzzer of the evaluation engine: a seed drives a deterministic random
 // (query, database) generator, and the decomposition-based evaluator must
 // agree with the nested-loop reference row-for-row, at every parallelism
-// setting.
+// setting. FuzzBatchEvaluate holds shared-base batch evaluation to
+// bit-identity with per-query evaluation, and FuzzDeltaEvaluate drives a
+// random insert/delete stream through a StandingQuery, comparing against a
+// full re-evaluation of a shadow database after every delta.
 //
 //	go test -fuzz=FuzzParseCQ -fuzztime 30s
 //	go test -fuzz=FuzzCQEvaluate -fuzztime 30s
+//	go test -fuzz=FuzzBatchEvaluate -fuzztime 30s
+//	go test -fuzz=FuzzDeltaEvaluate -fuzztime 30s
 //
 // Seed corpora live under testdata/fuzz/<target>/.
 package htd
@@ -98,6 +103,120 @@ func fuzzCQInstance(seed int64) (*cq.Query, *cq.Database) {
 		}
 	}
 	return q, db
+}
+
+// FuzzBatchEvaluate holds shared-base batch evaluation to bit-identity
+// with per-query EvaluateCtx: one seed derives several queries over one
+// database, evaluated as a batch and solo at two Jobs values.
+func FuzzBatchEvaluate(f *testing.F) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f.Add(seed, 3)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nQueries int) {
+		if nQueries < 1 || nQueries > 6 {
+			t.Skip("batch size out of range")
+		}
+		qs := make([]*cq.Query, nQueries)
+		var db *cq.Database
+		for i := range qs {
+			q, qdb := fuzzCQInstance(seed + int64(i))
+			qs[i] = q
+			if i == 0 {
+				db = qdb
+			}
+		}
+		ctx := context.Background()
+		for _, jobs := range []int{1, 3} {
+			opt := cq.EvalOptions{Jobs: jobs}
+			solos := make([][][]string, nQueries)
+			var wantErr error
+			for i, q := range qs {
+				rows, err := cq.EvaluateCtx(ctx, q, db, opt)
+				if err != nil {
+					// Queries of mismatched seeds may disagree with the db's
+					// arities; the batch must fail identically, on the first
+					// failing query in order.
+					wantErr = err
+					break
+				}
+				solos[i] = rows
+			}
+			got, err := cq.EvaluateBatchCtx(ctx, qs, db, opt)
+			if wantErr != nil {
+				if err == nil || err.Error() != wantErr.Error() {
+					t.Fatalf("jobs=%d: batch error = %v, solo error = %v", jobs, err, wantErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("jobs=%d: batch: %v", jobs, err)
+			}
+			for i, q := range qs {
+				if !reflect.DeepEqual(got[i], solos[i]) {
+					t.Fatalf("jobs=%d query %d: batch diverged on %s\n got %v\nwant %v",
+						jobs, i, q, got[i], solos[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzDeltaEvaluate drives a random insert/delete stream through a
+// standing query, asserting bit-identity with a full EvaluateCtx over a
+// shadow database mutated in lockstep after every delta.
+func FuzzDeltaEvaluate(f *testing.F) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f.Add(seed, int64(seed*31))
+	}
+	f.Fuzz(func(t *testing.T, seed, deltaSeed int64) {
+		q, db := fuzzCQInstance(seed)
+		// Deltas target the query's own relations at their atom arities, in
+		// first-occurrence order (the generator keeps arities consistent).
+		var rels []string
+		arities := map[string]int{}
+		for _, a := range q.Body {
+			if _, ok := arities[a.Relation]; !ok {
+				arities[a.Relation] = len(a.Terms)
+				rels = append(rels, a.Relation)
+			}
+		}
+		consts := []string{"a", "b", "c", "1", "2"}
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(deltaSeed))
+		for _, jobs := range []int{1, 3} {
+			opt := cq.EvalOptions{Jobs: jobs}
+			sq, err := cq.NewStandingQuery(ctx, q, db, nil, opt)
+			if err != nil {
+				t.Fatalf("jobs=%d: NewStandingQuery: %v", jobs, err)
+			}
+			shadow := db.Clone()
+			for step := 0; step < 8; step++ {
+				rel := rels[rng.Intn(len(rels))]
+				tuple := make([]string, arities[rel])
+				for j := range tuple {
+					tuple[j] = consts[rng.Intn(len(consts))]
+				}
+				if insert := rng.Intn(2) == 0; insert {
+					shadow.Add(rel, tuple...)
+					err = sq.Insert(ctx, rel, tuple...)
+				} else {
+					shadow.Delete(rel, tuple...)
+					err = sq.Delete(ctx, rel, tuple...)
+				}
+				if err != nil {
+					t.Fatalf("jobs=%d step %d: delta: %v", jobs, step, err)
+				}
+				want, err := cq.EvaluateCtx(ctx, q, shadow, opt)
+				if err != nil {
+					t.Fatalf("jobs=%d step %d: full re-eval: %v", jobs, step, err)
+				}
+				if got := sq.Answers(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("jobs=%d step %d: standing diverged on %s\n got %v\nwant %v",
+						jobs, step, q, got, want)
+				}
+			}
+		}
+	})
 }
 
 func FuzzCQEvaluate(f *testing.F) {

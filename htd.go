@@ -694,3 +694,32 @@ func BooleanQueryCtx(ctx context.Context, q *Query, db *Database, opt Options) (
 func BooleanQueryWithCtx(ctx context.Context, q *Query, db *Database, d *Decomposition, opt Options) (bool, error) {
 	return cq.BooleanWithCtx(ctx, q, db, d, evalOptions(opt))
 }
+
+// AnswerQueryBatchCtx evaluates many conjunctive queries over one database,
+// interning the hashed base relations once for the whole batch and sharing
+// decompositions between shape-identical queries. Answers are bit-identical
+// to calling AnswerQueryCtx per query at every Jobs value; on cancellation
+// it returns ctx.Err() and no partial result set.
+func AnswerQueryBatchCtx(ctx context.Context, qs []*Query, db *Database, opt Options) ([][][]string, error) {
+	return cq.EvaluateBatchCtx(ctx, qs, db, evalOptions(opt))
+}
+
+// StandingQuery is an incrementally maintained conjunctive query: it
+// re-answers after every Insert/Delete by delta propagation along the
+// affected paths of its semijoin-reduced join tree instead of a full
+// re-evaluation. See OpenStandingQuery.
+type StandingQuery = cq.StandingQuery
+
+// OpenStandingQuery builds a standing evaluator for q over the current
+// contents of db (captured once; later mutations go through the handle's
+// Insert/Delete). Answers() stays bit-identical to AnswerQueryCtx over the
+// mutated database at every Jobs value.
+func OpenStandingQuery(ctx context.Context, q *Query, db *Database, opt Options) (*StandingQuery, error) {
+	return cq.NewStandingQuery(ctx, q, db, nil, evalOptions(opt))
+}
+
+// OpenStandingQueryWith is OpenStandingQuery over a caller-supplied
+// decomposition of q.Hypergraph().
+func OpenStandingQueryWith(ctx context.Context, q *Query, db *Database, d *Decomposition, opt Options) (*StandingQuery, error) {
+	return cq.NewStandingQuery(ctx, q, db, d, evalOptions(opt))
+}

@@ -170,6 +170,43 @@ func (db *Database) Add(relation string, tuple ...string) {
 	db.relations[relation] = append(db.relations[relation], tuple)
 }
 
+// Delete removes one occurrence of the tuple from the named relation,
+// reporting whether a row was removed. Rows keep their relative order, so
+// evaluation over the mutated database stays deterministic.
+func (db *Database) Delete(relation string, tuple ...string) bool {
+	rows := db.relations[relation]
+	for i, row := range rows {
+		if len(row) != len(tuple) {
+			continue
+		}
+		match := true
+		for j := range row {
+			if row[j] != tuple[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			db.relations[relation] = append(append([][]string(nil), rows[:i]...), rows[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for name, rows := range db.relations {
+		cp := make([][]string, len(rows))
+		for i, row := range rows {
+			cp[i] = append([]string(nil), row...)
+		}
+		out.relations[name] = cp
+	}
+	return out
+}
+
 // Relation returns the tuples of the named relation.
 func (db *Database) Relation(name string) [][]string {
 	return db.relations[name]

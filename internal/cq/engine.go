@@ -89,7 +89,7 @@ func BooleanWithCtx(ctx context.Context, q *Query, db *Database, d *decomp.Decom
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	in, err := newInstance(q, db, d.H.NumVertices())
+	in, err := newInstance(q, db, nil)
 	if err != nil {
 		return false, err
 	}
@@ -112,13 +112,20 @@ func BooleanWithCtx(ctx context.Context, q *Query, db *Database, d *decomp.Decom
 // of q.Hypergraph() (e.g. a width-optimal one from the exact searches),
 // with cancellation, parallelism, and telemetry per opt.
 func EvaluateWithCtx(ctx context.Context, q *Query, db *Database, d *decomp.Decomposition, opt EvalOptions) ([][]string, error) {
+	return evaluateShared(ctx, q, db, d, opt, nil)
+}
+
+// evaluateShared is EvaluateWithCtx with an optional batch-shared base
+// store: when sb is non-nil the instance interns through it, serving plain
+// atoms from the canonical hashed rows instead of re-building them.
+func evaluateShared(ctx context.Context, q *Query, db *Database, d *decomp.Decomposition, opt EvalOptions, sb *sharedBase) ([][]string, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	in, err := newInstance(q, db, d.H.NumVertices())
+	in, err := newInstance(q, db, sb)
 	if err != nil {
 		return nil, err
 	}
@@ -202,14 +209,24 @@ func newEngine(q *Query, in *instance, d *decomp.Decomposition, opt EvalOptions)
 // cause wins, with context errors taking priority so a cancelled run
 // never reports a partial verdict.
 func (e *engine) runLevel(ctx context.Context, tasks []*decomp.Node, fn func(n *decomp.Node) error) error {
-	jobs := e.opt.jobs(len(tasks))
+	return runTasks(ctx, e.opt, len(tasks), func(i int) error { return fn(tasks[i]) })
+}
+
+// runTasks executes fn(0..n-1) on a bounded worker pool of opt.jobs(n)
+// goroutines (sequentially for one). Tasks must be mutually independent —
+// scheduling cannot affect results. Cancellation is checked before each
+// task; context errors win over task errors, so a cancelled run never
+// reports a partial verdict. Both the level-synchronous engine and the
+// standing-query delta passes run their per-node batches through this.
+func runTasks(ctx context.Context, opt EvalOptions, n int, fn func(i int) error) error {
+	jobs := opt.jobs(n)
 	if jobs <= 1 {
 		chk := interrupt.New(ctx, 1)
-		for _, n := range tasks {
+		for i := 0; i < n; i++ {
 			if chk.Now() {
 				return ctx.Err()
 			}
-			if err := fn(n); err != nil {
+			if err := fn(i); err != nil {
 				return err
 			}
 		}
@@ -217,7 +234,7 @@ func (e *engine) runLevel(ctx context.Context, tasks []*decomp.Node, fn func(n *
 	}
 	var (
 		next int64
-		errs = make([]error, len(tasks))
+		errs = make([]error, n)
 		wg   sync.WaitGroup
 	)
 	for w := 0; w < jobs; w++ {
@@ -227,14 +244,14 @@ func (e *engine) runLevel(ctx context.Context, tasks []*decomp.Node, fn func(n *
 			chk := interrupt.New(ctx, 1)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(tasks) {
+				if i >= n {
 					return
 				}
 				if chk.Now() {
 					errs[i] = ctx.Err()
 					return
 				}
-				errs[i] = fn(tasks[i])
+				errs[i] = fn(i)
 			}
 		}()
 	}
@@ -411,10 +428,16 @@ func (e *engine) outputPass(ctx context.Context) error {
 // assemble renders the root's output relation as sorted, deduplicated
 // answer rows in head order.
 func (e *engine) assemble() ([][]string, error) {
-	root := e.out[e.idx[e.d.Root]]
-	colOf := make([]int, len(e.q.Head))
-	for i, hv := range e.q.Head {
-		v := e.in.varIndex[hv]
+	return assembleAnswers(e.q, e.in, e.out[e.idx[e.d.Root]])
+}
+
+// assembleAnswers renders a root output relation as sorted, deduplicated
+// answer rows in head order — shared between the one-shot engine and the
+// standing evaluator so both produce byte-identical answer sets.
+func assembleAnswers(q *Query, in *instance, root *csp.Relation) ([][]string, error) {
+	colOf := make([]int, len(q.Head))
+	for i, hv := range q.Head {
+		v := in.varIndex[hv]
 		colOf[i] = -1
 		for j, sv := range root.Scope {
 			if sv == v {
@@ -425,7 +448,7 @@ func (e *engine) assemble() ([][]string, error) {
 			return nil, errHeadLost(hv)
 		}
 	}
-	if len(e.q.Head) == 0 {
+	if len(q.Head) == 0 {
 		// Boolean-shaped query: report one empty row when satisfiable.
 		if root.Size() > 0 {
 			return [][]string{{}}, nil
@@ -435,10 +458,10 @@ func (e *engine) assemble() ([][]string, error) {
 	dedupe := map[string]bool{}
 	var rows [][]string
 	for _, t := range root.Tuples {
-		row := make([]string, len(e.q.Head))
+		row := make([]string, len(q.Head))
 		key := ""
 		for i, c := range colOf {
-			row[i] = e.in.value(t[c])
+			row[i] = in.value(t[c])
 			key += row[i] + "\x00"
 		}
 		if !dedupe[key] {

@@ -39,20 +39,63 @@ func errHeadLost(hv string) error {
 	return fmt.Errorf("cq: internal error: head variable %s lost during evaluation", hv)
 }
 
+// errArity reports a database row whose width disagrees with an atom over
+// its relation — shared between the per-query and batch interners so both
+// paths fail identically.
+func errArity(relation string, rowLen, atomLen int) error {
+	return fmt.Errorf("cq: relation %s has arity %d, atom uses %d", relation, rowLen, atomLen)
+}
+
+// errBatchPlans reports a batch call with a mismatched plan slice.
+func errBatchPlans(queries, plans int) error {
+	return fmt.Errorf("cq: batch has %d queries but %d decompositions", queries, plans)
+}
+
+// interner maps constant strings to dense integer codes. One interner may
+// be shared by every query of a batch (and by a sharedBase store), so equal
+// constants carry equal codes across queries and hashed base relations can
+// be reused as-is.
+type interner struct {
+	dict    []string
+	dictIdx map[string]int
+}
+
+func newInterner() *interner {
+	return &interner{dictIdx: map[string]int{}}
+}
+
+func (it *interner) intern(s string) int {
+	if i, ok := it.dictIdx[s]; ok {
+		return i
+	}
+	i := len(it.dict)
+	it.dict = append(it.dict, s)
+	it.dictIdx[s] = i
+	return i
+}
+
+func (it *interner) value(i int) string { return it.dict[i] }
+
 // instance interns the database against the query structure.
 type instance struct {
 	varIndex map[string]int // query variable → hypergraph vertex index
-	dict     []string       // interned constants
-	dictIdx  map[string]int
+	terms    *interner      // constant dictionary (shared across a batch)
 	atomRel  []*csp.Relation // per body atom, scope = its vertex indices
 	empty    bool            // a ground atom failed: no answers
 }
 
-func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
+// newInstance interns db against q with a private dictionary; sb, when
+// non-nil, supplies the batch-shared dictionary and the canonical hashed
+// base relations (see sharedBase), from which plain atoms — all-distinct
+// variables, no constants — are served without re-interning.
+func newInstance(q *Query, db *Database, sb *sharedBase) (*instance, error) {
 	h := q.Hypergraph()
 	in := &instance{
 		varIndex: map[string]int{},
-		dictIdx:  map[string]int{},
+		terms:    newInterner(),
+	}
+	if sb != nil {
+		in.terms = sb.terms
 	}
 	for _, v := range q.Vars() {
 		idx := h.VertexIndex(v)
@@ -73,34 +116,24 @@ func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
 				scope = append(scope, in.varIndex[t.Value])
 			}
 		}
+		if sb != nil && isPlainAtom(a) && len(scope) > 0 {
+			// Plain atom: its relation is exactly the canonical deduped row
+			// set of (relation, arity) — share the batch's interned copy.
+			tuples, err := sb.canonical(a.Relation, len(a.Terms))
+			if err != nil {
+				return nil, err
+			}
+			in.atomRel = append(in.atomRel, &csp.Relation{Scope: scope, Tuples: tuples})
+			continue
+		}
 		groundOK := false
 		rel := &csp.Relation{Scope: scope}
 		dedupe := map[string]bool{}
 		for _, row := range rows {
 			if len(row) != len(a.Terms) {
-				return nil, fmt.Errorf("cq: relation %s has arity %d, atom uses %d",
-					a.Relation, len(row), len(a.Terms))
+				return nil, errArity(a.Relation, len(row), len(a.Terms))
 			}
-			// Check constants and repeated variables.
-			binding := map[string]string{}
-			ok := true
-			for j, t := range a.Terms {
-				if !t.IsVar {
-					if row[j] != t.Value {
-						ok = false
-						break
-					}
-					continue
-				}
-				if prev, bound := binding[t.Value]; bound {
-					if prev != row[j] {
-						ok = false
-						break
-					}
-					continue
-				}
-				binding[t.Value] = row[j]
-			}
+			binding, ok := bindAtomRow(a, row)
 			if !ok {
 				continue
 			}
@@ -113,7 +146,7 @@ func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
 			key := ""
 			for si, v := range scope {
 				name := varName(q, a, v, in)
-				tuple[si] = in.intern(binding[name])
+				tuple[si] = in.terms.intern(binding[name])
 				key += binding[name] + "\x00"
 			}
 			if !dedupe[key] {
@@ -129,7 +162,7 @@ func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
 			es.ForEach(func(v int) bool { dummyIdx = v; return false })
 			rel = &csp.Relation{Scope: []int{dummyIdx}}
 			if groundOK {
-				rel.Tuples = [][]int{{in.intern("_")}}
+				rel.Tuples = [][]int{{in.terms.intern("_")}}
 			} else {
 				in.empty = true
 			}
@@ -137,6 +170,29 @@ func newInstance(q *Query, db *Database, numVertices int) (*instance, error) {
 		in.atomRel = append(in.atomRel, rel)
 	}
 	return in, nil
+}
+
+// bindAtomRow matches one database row against an atom's constants and
+// repeated variables, returning the variable binding (nil, false when the
+// row is rejected). The row must already have the atom's arity.
+func bindAtomRow(a Atom, row []string) (map[string]string, bool) {
+	binding := map[string]string{}
+	for j, t := range a.Terms {
+		if !t.IsVar {
+			if row[j] != t.Value {
+				return nil, false
+			}
+			continue
+		}
+		if prev, bound := binding[t.Value]; bound {
+			if prev != row[j] {
+				return nil, false
+			}
+			continue
+		}
+		binding[t.Value] = row[j]
+	}
+	return binding, true
 }
 
 // varName finds the variable name whose hypergraph index is v among the
@@ -150,17 +206,21 @@ func varName(q *Query, a Atom, v int, in *instance) string {
 	return ""
 }
 
-func (in *instance) intern(s string) int {
-	if i, ok := in.dictIdx[s]; ok {
-		return i
-	}
-	i := len(in.dict)
-	in.dict = append(in.dict, s)
-	in.dictIdx[s] = i
-	return i
-}
+func (in *instance) value(i int) string { return in.terms.value(i) }
 
-func (in *instance) value(i int) string { return in.dict[i] }
+// isPlainAtom reports whether every term of a is a variable and no
+// variable repeats — the shape whose per-atom relation equals the raw
+// deduped relation rows in column order.
+func isPlainAtom(a Atom) bool {
+	seen := map[string]bool{}
+	for _, t := range a.Terms {
+		if !t.IsVar || seen[t.Value] {
+			return false
+		}
+		seen[t.Value] = true
+	}
+	return true
+}
 
 func sortRows(rows [][]string) {
 	sort.Slice(rows, func(i, j int) bool {

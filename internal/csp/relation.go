@@ -288,6 +288,35 @@ func Project(r *Relation, vars []int) *Relation {
 	return out
 }
 
+// SameSet reports whether a and b hold the same set of tuples over the same
+// scope (order-insensitive; both relations must already be duplicate-free,
+// which every kernel output is). The incremental evaluator uses it as its
+// fixpoint test: when a recomputed node relation equals the old one as a
+// set, delta propagation past that node is provably a no-op — every kernel
+// consumes its inputs with set semantics.
+func SameSet(a, b *Relation) bool {
+	if len(a.Scope) != len(b.Scope) || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	bPos := b.positions(a.Scope)
+	for _, p := range bPos {
+		if p < 0 {
+			return false
+		}
+	}
+	aPos := make([]int, len(a.Scope))
+	for i := range aPos {
+		aPos[i] = i
+	}
+	idx := indexTuples(b, bPos)
+	for _, ta := range a.Tuples {
+		if !idx.contains(ta, aPos) {
+			return false
+		}
+	}
+	return true
+}
+
 // groupSums sums weight[i] over r's tuples grouped by their values at the
 // given variables, returning a lookup function for other relations' tuples.
 // This is the hashed replacement of the old string-keyed count aggregation.

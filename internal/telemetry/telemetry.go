@@ -42,9 +42,11 @@ type Stats struct {
 	coverEvictions  atomic.Int64 // cover-oracle bags evicted by the memory bound
 
 	// Query-engine counters (the cq Yannakakis evaluator).
-	cqJoinTuples     atomic.Int64 // tuples emitted by join kernels
-	cqSemijoinTuples atomic.Int64 // tuples surviving semijoin kernels
-	cqOutputJoins    atomic.Int64 // output-pass join operations (0 for Boolean runs)
+	cqJoinTuples      atomic.Int64 // tuples emitted by join kernels
+	cqSemijoinTuples  atomic.Int64 // tuples surviving semijoin kernels
+	cqOutputJoins     atomic.Int64 // output-pass join operations (0 for Boolean runs)
+	cqDeltaTuples     atomic.Int64 // standing-query deltas applied (inserts + deletes)
+	cqBatchSharedJoin atomic.Int64 // batch-mode base relations served from the shared intern store
 
 	// Memory telemetry, fed by MemSampler (all zero when no sampler ran).
 	memHeapHighWater atomic.Int64 // max observed live-heap bytes
@@ -184,6 +186,23 @@ func (s *Stats) CQOutputJoin() {
 	}
 }
 
+// CQDelta counts one standing-query delta (an Insert or Delete) applied to
+// the incremental evaluator's state. Safe on nil.
+func (s *Stats) CQDelta() {
+	if s != nil {
+		s.cqDeltaTuples.Add(1)
+	}
+}
+
+// CQBatchShared counts one base relation a batch evaluation served from the
+// shared intern store instead of re-hashing it — the amortization batch
+// mode exists for. Safe on nil.
+func (s *Stats) CQBatchShared() {
+	if s != nil {
+		s.cqBatchSharedJoin.Add(1)
+	}
+}
+
 // AddCover folds a cover-oracle counter snapshot into s. The oracle keeps
 // its own atomics while a run is live (it may be shared by every portfolio
 // worker) and the facade folds the totals in once per run, so per-worker
@@ -236,9 +255,11 @@ type Snapshot struct {
 	CoverEvictions  int64 `json:"cover_evictions"`
 
 	// Query-engine counters (zero unless a cq evaluation ran).
-	CQJoinTuples     int64 `json:"cq_join_tuples"`
-	CQSemijoinTuples int64 `json:"cq_semijoin_tuples"`
-	CQOutputJoins    int64 `json:"cq_output_joins"`
+	CQJoinTuples       int64 `json:"cq_join_tuples"`
+	CQSemijoinTuples   int64 `json:"cq_semijoin_tuples"`
+	CQOutputJoins      int64 `json:"cq_output_joins"`
+	CQDeltaTuples      int64 `json:"cq_delta_tuples"`
+	CQBatchSharedJoins int64 `json:"cq_batch_shared_joins"`
 
 	// Memory telemetry (zero unless a MemSampler ran over the Stats).
 	HeapHighWaterBytes int64 `json:"heap_high_water_bytes"`
@@ -269,9 +290,11 @@ func (s *Stats) Snapshot() Snapshot {
 		CoverMisses:     s.coverMisses.Load(),
 		CoverEvictions:  s.coverEvictions.Load(),
 
-		CQJoinTuples:     s.cqJoinTuples.Load(),
-		CQSemijoinTuples: s.cqSemijoinTuples.Load(),
-		CQOutputJoins:    s.cqOutputJoins.Load(),
+		CQJoinTuples:       s.cqJoinTuples.Load(),
+		CQSemijoinTuples:   s.cqSemijoinTuples.Load(),
+		CQOutputJoins:      s.cqOutputJoins.Load(),
+		CQDeltaTuples:      s.cqDeltaTuples.Load(),
+		CQBatchSharedJoins: s.cqBatchSharedJoin.Load(),
 
 		HeapHighWaterBytes: s.memHeapHighWater.Load(),
 		TotalAllocBytes:    s.memTotalAlloc.Load(),
@@ -300,9 +323,11 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		CoverMisses:     a.CoverMisses + b.CoverMisses,
 		CoverEvictions:  a.CoverEvictions + b.CoverEvictions,
 
-		CQJoinTuples:     a.CQJoinTuples + b.CQJoinTuples,
-		CQSemijoinTuples: a.CQSemijoinTuples + b.CQSemijoinTuples,
-		CQOutputJoins:    a.CQOutputJoins + b.CQOutputJoins,
+		CQJoinTuples:       a.CQJoinTuples + b.CQJoinTuples,
+		CQSemijoinTuples:   a.CQSemijoinTuples + b.CQSemijoinTuples,
+		CQOutputJoins:      a.CQOutputJoins + b.CQOutputJoins,
+		CQDeltaTuples:      a.CQDeltaTuples + b.CQDeltaTuples,
+		CQBatchSharedJoins: a.CQBatchSharedJoins + b.CQBatchSharedJoins,
 
 		HeapHighWaterBytes: max64(a.HeapHighWaterBytes, b.HeapHighWaterBytes),
 		TotalAllocBytes:    a.TotalAllocBytes + b.TotalAllocBytes,
@@ -341,6 +366,8 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.cqJoinTuples.Add(b.CQJoinTuples)
 	s.cqSemijoinTuples.Add(b.CQSemijoinTuples)
 	s.cqOutputJoins.Add(b.CQOutputJoins)
+	s.cqDeltaTuples.Add(b.CQDeltaTuples)
+	s.cqBatchSharedJoin.Add(b.CQBatchSharedJoins)
 	// Memory: high-water folds as a max (shared heap), totals accumulate.
 	// Portfolio workers carry zero mem fields by design — the sampler is
 	// attached to the run-level Stats — so this is usually a no-op.
