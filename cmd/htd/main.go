@@ -18,8 +18,11 @@
 // net/http/pprof plus the live search counters as expvar key "htd_search"
 // on /debug/vars, -trace FILE exports the run's structured timeline as
 // Chrome trace-event JSON (one track per portfolio worker; open it in
-// Perfetto or chrome://tracing), and -ledger FILE appends a one-line JSON
-// run record. With -timeout the exit status is 0 whenever a decomposition
+// Perfetto or chrome://tracing), -ledger FILE appends a one-line JSON
+// run record, and -postmortem DIR arms a flight recorder that dumps a
+// diagnosable bundle (trace, stats, heap and goroutine profiles) when the
+// run dies by deadline, cancellation, or panic — `htd report DIR` renders
+// it. With -timeout the exit status is 0 whenever a decomposition
 // (or width bound) was produced — the anytime incumbent — and nonzero
 // only when the deadline struck before any incumbent existed; the message
 // says which happened.
@@ -66,6 +69,8 @@ func main() {
 		err = cmdSolve(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -93,12 +98,16 @@ commands:
   solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
   query      answer a conjunctive query (-q "ans(X):-r(X,Y)" or -f file) over TSV
              relations, with -method/-jobs/-timeout and -boolean (satisfiability only)
+  report     render a post-mortem bundle (from -postmortem) as a readable summary
 
 observability (decompose, tw, hw, fhw, query):
   -v            stream progress (incumbents, phases, portfolio workers) to stderr
-  -pprof :6060  serve net/http/pprof + expvar search counters (/debug/vars)
+  -pprof :6060  serve net/http/pprof + expvar search counters (/debug/vars) +
+                Prometheus text-format metrics (/metrics)
   -trace f.json write the run timeline as Chrome trace-event JSON (open in Perfetto)
   -ledger f.jsonl append a one-line JSON run record (append-only run ledger)
+  -postmortem d arm the flight recorder: on deadline, cancellation, or panic, dump a
+                post-mortem bundle (trace, stats, heap, goroutines) into directory d
 `)
 }
 
@@ -154,6 +163,8 @@ func cmdDecompose(args []string) error {
 		defer cancel()
 	}
 	s := of.start()
+	defer s.flight.HandlePanic()
+	s.arm(ctx, "decompose", fs.Arg(0), m.String())
 	start := time.Now()
 	d, err := htd.DecomposeCtx(ctx, h, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
@@ -226,6 +237,10 @@ func cmdHypertreeWidth(args []string) error {
 		return err
 	}
 	s := of.start()
+	defer s.flight.HandlePanic()
+	// det-k-decomp takes no context; arm with Background so panics are
+	// still captured (the watcher simply never fires).
+	s.arm(context.Background(), "hw", fs.Arg(0), "detk")
 	start := time.Now()
 	w, d := htd.HypertreeWidthTraced(h, *maxK, s.trace)
 	wall := time.Since(start)
@@ -258,6 +273,8 @@ func cmdFractional(args []string) error {
 		return err
 	}
 	s := of.start()
+	defer s.flight.HandlePanic()
+	s.arm(context.Background(), "fhw", fs.Arg(0), "minfill+localsearch")
 	// fhw has no engine-level instrumentation (one LP-ish computation, no
 	// search loop), so the span lives at the command level.
 	s.trace.Begin(0, "fhw")
@@ -299,6 +316,8 @@ func cmdTreewidth(args []string) error {
 		defer cancel()
 	}
 	s := of.start()
+	defer s.flight.HandlePanic()
+	s.arm(ctx, "tw", fs.Arg(0), m.String())
 	start := time.Now()
 	res, err := htd.TreewidthCtx(ctx, g, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs,
@@ -485,6 +504,8 @@ func cmdQuery(args []string) error {
 	fmt.Printf("query hypergraph: %d variables, %d atoms, acyclic: %v\n",
 		h.NumVertices(), h.NumEdges(), h.IsAcyclic())
 	s := of.start()
+	defer s.flight.HandlePanic()
+	s.arm(ctx, "query", fs.Arg(0), m.String())
 	opt := htd.Options{
 		Method: m, Seed: *seed, Jobs: *jobs,
 		Stats: s.stats, Observer: s.obs, Trace: s.trace,
@@ -551,6 +572,8 @@ func runQueryBatch(ctx context.Context, text string, db *htd.Database, datadir s
 		return fmt.Errorf("query: -batch source holds no queries")
 	}
 	s := of.start()
+	defer s.flight.HandlePanic()
+	s.arm(ctx, "query-batch", datadir, "minfill")
 	opt := htd.Options{Jobs: jobs, Stats: s.stats, Observer: s.obs, Trace: s.trace}
 	start := time.Now()
 	results, err := htd.AnswerQueryBatchCtx(ctx, qs, db, opt)

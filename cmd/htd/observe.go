@@ -7,12 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"sync"
 	"time"
 
 	"hypertree"
@@ -26,21 +29,29 @@ type obsFlags struct {
 	pprofAddr  string
 	tracePath  string
 	ledgerPath string
+	postmortem string
 }
 
-// addObsFlags registers -v, -pprof, -trace, and -ledger on fs. Every
-// subcommand that runs a decomposition calls this, so the flags behave
-// identically across decompose, tw, hw, and fhw.
+// metricsOnce guards the /metrics registration on the default mux: the
+// handler reads through the swappable expvar holder, so one registration
+// serves every subsequent run of the process.
+var metricsOnce sync.Once
+
+// addObsFlags registers -v, -pprof, -trace, -ledger, and -postmortem on
+// fs. Every subcommand that runs a decomposition calls this, so the flags
+// behave identically across decompose, tw, hw, fhw, and query.
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	var of obsFlags
 	fs.BoolVar(&of.verbose, "v", false,
 		"stream search progress (incumbents, phases, portfolio workers) to stderr")
 	fs.StringVar(&of.pprofAddr, "pprof", "",
-		"serve net/http/pprof and expvar search counters on this address, e.g. :6060")
+		"serve net/http/pprof, expvar search counters, and Prometheus /metrics on this address, e.g. :6060")
 	fs.StringVar(&of.tracePath, "trace", "",
 		"write the run's structured timeline as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.StringVar(&of.ledgerPath, "ledger", "",
 		"append a one-line JSON run record to this file (run ledger)")
+	fs.StringVar(&of.postmortem, "postmortem", "",
+		"arm the flight recorder: on deadline, cancellation, or panic, dump a post-mortem bundle (trace, stats, heap, goroutines) into this directory; render it with `htd report`")
 	return &of
 }
 
@@ -55,6 +66,8 @@ type obsSession struct {
 	trace   *htd.Trace
 	logger  *slog.Logger
 	sampler *telemetry.MemSampler
+	flight  *telemetry.FlightRecorder
+	runCtx  context.Context // the context arm() watched (nil when unarmed)
 }
 
 // start builds the session: debug server, progress observer, event ring,
@@ -64,7 +77,7 @@ type obsSession struct {
 // post-run inspection works.
 func (of *obsFlags) start() *obsSession {
 	s := &obsSession{flags: of}
-	if !of.verbose && of.pprofAddr == "" && of.tracePath == "" && of.ledgerPath == "" {
+	if !of.verbose && of.pprofAddr == "" && of.tracePath == "" && of.ledgerPath == "" && of.postmortem == "" {
 		return s
 	}
 	s.stats = new(htd.Stats)
@@ -72,22 +85,82 @@ func (of *obsFlags) start() *obsSession {
 		s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 		s.obs = progressObserver(s.logger)
 	}
-	if of.tracePath != "" {
+	if of.tracePath != "" || of.postmortem != "" {
+		// The flight recorder needs the event ring too: its bundle carries
+		// the Chrome trace of whatever the run managed to record.
 		s.trace = htd.NewTrace(0)
+	}
+	if of.postmortem != "" {
+		s.flight = telemetry.NewFlightRecorder(of.postmortem, s.stats, s.trace)
 	}
 	if of.pprofAddr != "" {
 		telemetry.PublishExpvar("htd_search", s.stats)
+		metricsOnce.Do(func() {
+			http.Handle("/metrics", telemetry.PromHandler("htd_search"))
+		})
 		go func() {
 			if err := http.ListenAndServe(of.pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "htd: pprof server:", err)
 			}
 		}()
 		fmt.Fprintf(os.Stderr,
-			"htd: serving pprof on http://%s/debug/pprof/ and search counters on /debug/vars (key htd_search)\n",
+			"htd: serving pprof on http://%s/debug/pprof/, search counters on /debug/vars (key htd_search), and Prometheus text on /metrics\n",
 			of.pprofAddr)
 	}
 	s.sampler = telemetry.StartMemSampler(s.stats, s.trace, 0)
 	return s
+}
+
+// arm points the flight recorder at the run's context and stamps the
+// bundle metadata. Call it once per run, right after start(); a session
+// without -postmortem makes this a no-op. The deferred-panic hook is the
+// caller's job (`defer s.flight.HandlePanic()`), since recover only works
+// one frame down.
+func (s *obsSession) arm(ctx context.Context, cmd, instance, method string) {
+	if s.flight == nil {
+		return
+	}
+	s.runCtx = ctx
+	s.flight.SetMeta("cmd", cmd)
+	s.flight.SetMeta("instance", instance)
+	if method != "" {
+		s.flight.SetMeta("method", method)
+	}
+	s.flight.Watch(ctx)
+}
+
+// settleFlight resolves the flight recorder at the end of a run: a run
+// whose context died (deadline or cancellation — checked on the context
+// itself, because the engines' own deadline polls can beat the context
+// timer and return a nil or non-context error) dumps the bundle; a clean
+// run disarms the watcher. Either way the watcher goroutine is waited out
+// so the process never exits over a half-written bundle.
+func (s *obsSession) settleFlight(runErr error) {
+	if s.flight == nil {
+		return
+	}
+	ctxDead := s.runCtx != nil && s.runCtx.Err() != nil
+	if !ctxDead && (errors.Is(runErr, context.DeadlineExceeded) || errors.Is(runErr, context.Canceled)) {
+		ctxDead = true
+	}
+	if !ctxDead {
+		s.flight.Disarm()
+		s.flight.Sync(time.Second)
+		return
+	}
+	reason := "cancelled"
+	if errors.Is(runErr, context.DeadlineExceeded) ||
+		(s.runCtx != nil && errors.Is(s.runCtx.Err(), context.DeadlineExceeded)) {
+		reason = "deadline"
+	}
+	dir, err := s.flight.Dump(reason)
+	s.flight.Disarm()
+	s.flight.Sync(3 * time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htd: post-mortem dump failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "htd: post-mortem bundle written to %s (render with `htd report %s`)\n", dir, dir)
 }
 
 // ledgerEntry is one line of the append-only JSONL run ledger.
@@ -112,6 +185,7 @@ func (s *obsSession) finish(cmd, instance, method string, width float64, res htd
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
+	s.settleFlight(runErr)
 	if s.flags.tracePath != "" {
 		f, err := os.Create(s.flags.tracePath)
 		if err != nil {

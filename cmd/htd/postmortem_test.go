@@ -1,0 +1,147 @@
+// End-to-end flight-recorder test: a deadline-killed `htd decompose
+// -postmortem` run must leave a complete bundle behind, and `htd report`
+// must render it.
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypertree/internal/gen"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/telemetry"
+)
+
+// writeInstance generates a hypergraph large enough that an exact
+// branch-and-bound search cannot finish inside the test's deadline.
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.hg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.WriteHypergraph(f, gen.Grid2DHypergraph(12, 12)); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(buf)
+			b.Write(buf[:n])
+			if rerr != nil {
+				done <- b.String()
+				return
+			}
+		}
+	}()
+	runErr := fn()
+	os.Stdout = saved
+	w.Close()
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestPostmortemEndToEnd(t *testing.T) {
+	instance := writeInstance(t)
+	bundle := filepath.Join(t.TempDir(), "pm")
+
+	// The run is cut by its own deadline: exact bb over a 144-vertex grid
+	// cannot finish in 30ms. Whether the engine surfaces a context error
+	// or an anytime incumbent, the dead context must trigger the dump.
+	_, runErr := captureStdout(t, func() error {
+		return cmdDecompose([]string{
+			"-method", "bb", "-timeout", "30ms", "-postmortem", bundle, instance,
+		})
+	})
+	// A context error (no incumbent at all) is a legal outcome here; any
+	// other error is a real failure.
+	if runErr != nil && !isCtxErrWrapped(runErr) {
+		t.Fatalf("decompose failed for a non-deadline reason: %v", runErr)
+	}
+
+	for _, name := range []string{
+		telemetry.BundleStats, telemetry.BundleTrace,
+		telemetry.BundleHeap, telemetry.BundleGoroutines,
+	} {
+		fi, err := os.Stat(filepath.Join(bundle, name))
+		if err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("bundle file %s is empty", name)
+		}
+	}
+
+	out, err := captureStdout(t, func() error {
+		return cmdReport([]string{bundle})
+	})
+	if err != nil {
+		t.Fatalf("htd report: %v", err)
+	}
+	for _, want := range []string{
+		"post-mortem bundle:",
+		"trigger:  deadline",
+		"cmd:      decompose",
+		"method:   bb",
+		"latency quantiles:",
+		"counters (non-zero):",
+		"goroutines at capture:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPostmortemCleanRunNoBundle checks a run that finishes before its
+// deadline disarms the recorder and leaves no bundle.
+func TestPostmortemCleanRunNoBundle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.hg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.WriteHypergraph(f, gen.Chain(3, 4, 2)); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	f.Close()
+	bundle := filepath.Join(t.TempDir(), "pm")
+	_, runErr := captureStdout(t, func() error {
+		return cmdDecompose([]string{"-method", "minfill", "-postmortem", bundle, path})
+	})
+	if runErr != nil {
+		t.Fatalf("decompose: %v", runErr)
+	}
+	if _, err := os.Stat(bundle); !os.IsNotExist(err) {
+		t.Errorf("clean run left a bundle behind (stat err %v)", err)
+	}
+}
+
+// isCtxErrWrapped mirrors main's deadline classification for test use.
+func isCtxErrWrapped(err error) bool {
+	return isCtxErr(err) || strings.Contains(err.Error(), "deadline")
+}

@@ -1,0 +1,21 @@
+// The report subcommand: render a post-mortem bundle produced by
+// -postmortem into a human-readable summary (trigger, top phases by wall
+// time, latency quantiles, counters, incumbent timeline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypertree/internal/telemetry"
+)
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: usage: htd report <bundle-dir>")
+	}
+	return telemetry.RenderBundle(fs.Arg(0), os.Stdout)
+}

@@ -338,6 +338,7 @@ func foldCover(st *Stats, orc *cover.Oracle) {
 	}
 	c := orc.Counters()
 	st.AddCover(c.Hits, c.Misses, c.Evictions)
+	st.AddCoverLatency(orc.LatencySnapshots())
 }
 
 // ghwOne runs a single (non-portfolio) GHW method under ctx, reporting
@@ -512,7 +513,7 @@ func SolveCSP(c *CSP, opt Options) (solution []int, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return csp.SolveFromGHD(c, d)
+	return csp.SolveFromGHDStats(c, d, opt.Stats)
 }
 
 // SolveCSPFromDecomposition solves c using an existing decomposition: via

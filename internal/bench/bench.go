@@ -56,11 +56,23 @@ type Record struct {
 	// All three come from the background MemStats sampler the harness
 	// attaches per record (zero in reports from before the sampler existed;
 	// the compare gate skips heap checks for such baselines).
-	HeapHighWaterBytes int64        `json:"heap_high_water_bytes"`
-	TotalAllocBytes    int64        `json:"total_alloc_bytes"`
-	GCPauseTotalMs     float64      `json:"gc_pause_total_ms"`
-	Anytime            []CurvePoint `json:"anytime"`
-	Error              string       `json:"error,omitempty"`
+	HeapHighWaterBytes int64   `json:"heap_high_water_bytes"`
+	TotalAllocBytes    int64   `json:"total_alloc_bytes"`
+	GCPauseTotalMs     float64 `json:"gc_pause_total_ms"`
+	// Latency quantiles (milliseconds) distilled from the run's histograms:
+	// cover-oracle probe latency and the parallel engine's per-level barrier
+	// wait. Zero when the run recorded no such observations (runs that never
+	// touch the oracle or the parallel engine, and baselines predating the
+	// histograms); the compare gate skips p99 checks for such baselines. The
+	// full bucket vectors ride along inside Counters.
+	OracleProbeP50Ms float64      `json:"oracle_probe_p50_ms,omitempty"`
+	OracleProbeP95Ms float64      `json:"oracle_probe_p95_ms,omitempty"`
+	OracleProbeP99Ms float64      `json:"oracle_probe_p99_ms,omitempty"`
+	LevelWaitP50Ms   float64      `json:"level_wait_p50_ms,omitempty"`
+	LevelWaitP95Ms   float64      `json:"level_wait_p95_ms,omitempty"`
+	LevelWaitP99Ms   float64      `json:"level_wait_p99_ms,omitempty"`
+	Anytime          []CurvePoint `json:"anytime"`
+	Error            string       `json:"error,omitempty"`
 }
 
 // Report is the top-level document of a BENCH_*.json file.
@@ -189,6 +201,16 @@ func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.St
 	rec.HeapHighWaterBytes = rec.Counters.HeapHighWaterBytes
 	rec.TotalAllocBytes = rec.Counters.TotalAllocBytes
 	rec.GCPauseTotalMs = float64(rec.Counters.GCPauseTotalNs) / 1e6
+	if hs := rec.Counters.CoverProbeNs; hs.Count > 0 {
+		rec.OracleProbeP50Ms = hs.P50() / 1e6
+		rec.OracleProbeP95Ms = hs.P95() / 1e6
+		rec.OracleProbeP99Ms = hs.P99() / 1e6
+	}
+	if hs := rec.Counters.CQLevelWaitNs; hs.Count > 0 {
+		rec.LevelWaitP50Ms = hs.P50() / 1e6
+		rec.LevelWaitP95Ms = hs.P95() / 1e6
+		rec.LevelWaitP99Ms = hs.P99() / 1e6
+	}
 	for _, inc := range st.Trace() {
 		rec.Anytime = append(rec.Anytime, CurvePoint{
 			Ms:     float64(inc.Elapsed.Microseconds()) / 1e3,

@@ -43,16 +43,31 @@ type Thresholds struct {
 	MinWallMs float64
 	// MinHeapBytes clamps tiny heap baselines likewise.
 	MinHeapBytes int64
+	// MaxP99Factor gates the tail-latency quantiles — the cover-oracle
+	// probe p99 and the parallel engine's level-wait p99 — the same way:
+	// violation when the current p99 exceeds factor × max(baseline,
+	// MinP99Ms). 0 disables the gate; it is also skipped when the baseline
+	// record carries no observations for the distribution (runs that never
+	// touch the oracle or the parallel engine, and reports predating the
+	// histograms).
+	MaxP99Factor float64
+	// MinP99Ms clamps tiny p99 baselines before the factor applies:
+	// microsecond-scale tails are all scheduler noise.
+	MinP99Ms float64
 }
 
 // DefaultThresholds returns the CI gate defaults: 2× wall over a 250ms
-// floor, 1.5× heap over a 64MiB floor, nodes ungated.
+// floor, 1.5× heap over a 64MiB floor, 5× p99 tails over a 2ms floor
+// (tails are the noisiest statistic on shared runners, hence the widest
+// factor), nodes ungated.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
 		MaxWallFactor: 2.0,
 		MaxHeapFactor: 1.5,
 		MinWallMs:     250,
 		MinHeapBytes:  64 << 20,
+		MaxP99Factor:  5.0,
+		MinP99Ms:      2,
 	}
 }
 
@@ -193,6 +208,24 @@ func compareRecord(b, c Record, th Thresholds) Diff {
 					c.HeapHighWaterBytes>>20, th.MaxHeapFactor,
 					b.HeapHighWaterBytes>>20, floor>>20))
 		}
+	}
+	if th.MaxP99Factor > 0 {
+		gateP99 := func(name string, basep, curp float64) {
+			if basep == 0 || curp == 0 {
+				return // one side has no observations: nothing to regress
+			}
+			floor := basep
+			if floor < th.MinP99Ms {
+				floor = th.MinP99Ms
+			}
+			if curp > th.MaxP99Factor*floor {
+				d.Violations = append(d.Violations,
+					fmt.Sprintf("%s p99 %.2fms > %.1fx baseline %.2fms (floor %.0fms)",
+						name, curp, th.MaxP99Factor, basep, floor))
+			}
+		}
+		gateP99("oracle probe", b.OracleProbeP99Ms, c.OracleProbeP99Ms)
+		gateP99("level wait", b.LevelWaitP99Ms, c.LevelWaitP99Ms)
 	}
 	if th.MaxNodesFactor > 0 && b.Nodes > 0 {
 		if float64(c.Nodes) > th.MaxNodesFactor*float64(b.Nodes) {

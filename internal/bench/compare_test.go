@@ -134,6 +134,46 @@ func TestCompareNewErrorIsViolation(t *testing.T) {
 	}
 }
 
+// TestCompareGatesP99 exercises the tail-latency gate: a p99 blow-up
+// beyond the factor over the floor is a violation, jitter under the floor
+// is not, and a baseline without observations gates nothing.
+func TestCompareGatesP99(t *testing.T) {
+	mk := func(probeP99, waitP99 float64) Report {
+		return Report{Records: []Record{{
+			Instance: "adder_10", Kind: "ghw", Method: "portfolio",
+			Width: 2, WallMs: 500,
+			OracleProbeP99Ms: probeP99, LevelWaitP99Ms: waitP99,
+		}}}
+	}
+	// 8ms -> 100ms probe p99 (12.5x over a baseline above the 2ms floor).
+	res := Compare(mk(8, 0), mk(100, 0), DefaultThresholds())
+	if res.Violations != 1 {
+		t.Fatalf("probe p99 blow-up not flagged: %+v", res.Diffs)
+	}
+	if v := res.Diffs[0].Violations[0]; !strings.Contains(v, "oracle probe p99") {
+		t.Errorf("violation text lacks the distribution name: %q", v)
+	}
+	// Level-wait gate fires independently.
+	if res := Compare(mk(0, 4), mk(0, 80), DefaultThresholds()); res.Violations != 1 {
+		t.Fatalf("level-wait p99 blow-up not flagged: %+v", res.Diffs)
+	}
+	// Sub-floor tails are all noise: 0.1ms -> 5ms stays under 5 x 2ms.
+	if res := Compare(mk(0.1, 0.1), mk(5, 5), DefaultThresholds()); res.Violations != 0 {
+		t.Fatalf("sub-floor p99 jitter flagged: %+v", res.Diffs)
+	}
+	// A baseline with no observations (pre-histogram report, or a run that
+	// never touched the oracle) gates nothing.
+	if res := Compare(mk(0, 0), mk(500, 500), DefaultThresholds()); res.Violations != 0 {
+		t.Fatalf("p99 gated against an observation-free baseline: %+v", res.Diffs)
+	}
+	// And MaxP99Factor 0 disables the gate outright.
+	th := DefaultThresholds()
+	th.MaxP99Factor = 0
+	if res := Compare(mk(8, 0), mk(1000, 0), th); res.Violations != 0 {
+		t.Fatalf("disabled p99 gate still fired: %+v", res.Diffs)
+	}
+}
+
 // TestCompareSkipsHeapWithoutBaseline: reports generated before the
 // memory sampler carry zero heap fields; the heap gate must skip them.
 func TestCompareSkipsHeapWithoutBaseline(t *testing.T) {

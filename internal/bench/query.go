@@ -101,6 +101,12 @@ func QueryCatalog() []queryInstance {
 	}
 }
 
+// queryJobs pins the evaluation worker count: the harness measures the
+// parallel engine, so it must not degrade to the sequential path on
+// single-core runners (Jobs 0 resolves to GOMAXPROCS). Answers are
+// scheduling-independent; only the latency distributions see the workers.
+const queryJobs = 4
+
 // RunQueries executes the query workloads sequentially and returns the
 // report (the -queries counterpart of Run).
 func RunQueries(cfg Config) Report {
@@ -143,7 +149,7 @@ func RunQueries(cfg Config) Report {
 			st := new(htd.Stats)
 			ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
-			opt := htd.Options{Method: m, Seed: cfg.Seed, Stats: st}
+			opt := htd.Options{Method: m, Seed: cfg.Seed, Stats: st, Jobs: queryJobs}
 			start := time.Now()
 			var res htd.Result
 			d, err := htd.DecomposeCtx(ctx, h, opt)
@@ -212,7 +218,7 @@ func batchCatalogRecord(cfg Config) *Record {
 	ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	start := time.Now()
-	results, err := htd.AnswerQueryBatchCtx(ctx, qs, db, htd.Options{Stats: st})
+	results, err := htd.AnswerQueryBatchCtx(ctx, qs, db, htd.Options{Stats: st, Jobs: queryJobs})
 	cancel()
 	wall := time.Since(start)
 	ms.Stop()
@@ -258,7 +264,7 @@ func deltaChainRecord(cfg Config) *Record {
 	ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	start := time.Now()
-	sq, err := htd.OpenStandingQuery(ctx, q, db, htd.Options{Stats: st})
+	sq, err := htd.OpenStandingQuery(ctx, q, db, htd.Options{Stats: st, Jobs: queryJobs})
 	if err == nil {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
 		for i := 0; i < 150 && err == nil; i++ {

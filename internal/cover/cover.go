@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
@@ -95,6 +96,15 @@ type Oracle struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	// Latency distributions, owned by the oracle for the same reason the
+	// counters are: the oracle is shared across portfolio workers, so the
+	// facade folds these into the run-level Stats once per run (via
+	// Stats.AddCoverLatency). probeNs covers every query end-to-end (hit
+	// or miss); solveNs covers exact set-cover solves only, fed by the
+	// pooled solvers' ExactLatency hook.
+	probeNs telemetry.Histogram
+	solveNs telemetry.Histogram
 }
 
 type coverShard struct {
@@ -135,7 +145,11 @@ func New(h *hypergraph.Hypergraph, opt Options) *Oracle {
 		perShard:  perShard,
 		tr:        opt.Trace,
 	}
-	o.solvers.New = func() any { return setcover.New(h, nil) }
+	o.solvers.New = func() any {
+		sv := setcover.New(h, nil)
+		sv.ExactLatency = &o.solveNs
+		return sv
+	}
 	o.scratch.New = func() any { return bitset.New(h.NumVertices()) }
 	return o
 }
@@ -150,6 +164,11 @@ func (o *Oracle) Counters() CounterSnapshot {
 		Misses:    o.misses.Load(),
 		Evictions: o.evictions.Load(),
 	}
+}
+
+// LatencySnapshots reads the probe and exact-solve latency distributions.
+func (o *Oracle) LatencySnapshots() (probe, solve telemetry.HistSnapshot) {
+	return o.probeNs.Snapshot(), o.solveNs.Snapshot()
 }
 
 // GreedySize returns the size of the deterministic greedy cover of target
@@ -181,7 +200,11 @@ func (o *Oracle) Exact(target *bitset.Set) []int {
 
 // query canonicalizes target, consults the transposition table, and solves
 // on a miss. When out is non-nil it receives a copy of the cover edges.
+// Every probe — hit, miss, or trivial empty bag — lands in probeNs, so the
+// distribution reflects what callers actually wait for.
 func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
+	t0 := time.Now()
+	defer o.probeNs.ObserveSince(t0)
 	// Canonical bag: covers ignore vertices in no hyperedge, so interning
 	// target ∩ coverable makes e.g. {v} ∪ N(v) and its constrained subset
 	// share one entry.

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hypertree/internal/csp"
 	"hypertree/internal/decomp"
@@ -219,6 +220,19 @@ func (e *engine) runLevel(ctx context.Context, tasks []*decomp.Node, fn func(n *
 // reports a partial verdict. Both the level-synchronous engine and the
 // standing-query delta passes run their per-node batches through this.
 func runTasks(ctx context.Context, opt EvalOptions, n int, fn func(i int) error) error {
+	st := opt.Stats
+	if st != nil {
+		// Wrap each task with batch timing. The wrapper exists only when a
+		// Stats is attached, so telemetry-off runs pay nothing here, and
+		// timing never feeds back into scheduling or results.
+		inner := fn
+		fn = func(i int) error {
+			t0 := time.Now()
+			err := inner(i)
+			st.ObserveCQBatch(time.Since(t0))
+			return err
+		}
+	}
 	jobs := opt.jobs(n)
 	if jobs <= 1 {
 		chk := interrupt.New(ctx, 1)
@@ -237,10 +251,21 @@ func runTasks(ctx context.Context, opt EvalOptions, n int, fn func(i int) error)
 		errs = make([]error, n)
 		wg   sync.WaitGroup
 	)
+	// finished[w] is when worker w ran out of tasks; the gap to the level
+	// barrier's release is that worker's barrier wait (idle tail while the
+	// slowest worker drains). Only tracked with a Stats attached.
+	var finished []time.Time
+	if st != nil {
+		finished = make([]time.Time, jobs)
+	}
 	for w := 0; w < jobs; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if finished != nil {
+				defer func() { finished[w] = time.Now() }()
+			}
 			chk := interrupt.New(ctx, 1)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -256,6 +281,14 @@ func runTasks(ctx context.Context, opt EvalOptions, n int, fn func(i int) error)
 		}()
 	}
 	wg.Wait()
+	if st != nil {
+		barrier := time.Now()
+		for _, t := range finished {
+			if !t.IsZero() {
+				st.ObserveLevelWait(barrier.Sub(t))
+			}
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}

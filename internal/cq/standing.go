@@ -34,6 +34,7 @@ package cq
 import (
 	"context"
 	"sync"
+	"time"
 
 	"hypertree/internal/csp"
 	"hypertree/internal/decomp"
@@ -333,6 +334,12 @@ func (s *StandingQuery) Delete(ctx context.Context, relation string, tuple ...st
 func (s *StandingQuery) apply(ctx context.Context, relation string, tuple []string, insert bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if st := s.opt.Stats; st != nil {
+		// End-to-end delta latency, including validation, propagation, and
+		// (on conflict) the undo-journal rollback.
+		t0 := time.Now()
+		defer func() { st.ObserveDeltaApply(time.Since(t0)) }()
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -2,8 +2,10 @@ package csp
 
 import (
 	"fmt"
+	"time"
 
 	"hypertree/internal/decomp"
+	"hypertree/internal/telemetry"
 )
 
 // SolveFromTD solves the CSP from a tree decomposition of its constraint
@@ -14,6 +16,14 @@ import (
 // Solving. It returns (solution, satisfiable, error); the error reports a
 // decomposition that does not belong to this CSP.
 func SolveFromTD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
+	return SolveFromTDStats(c, d, nil)
+}
+
+// SolveFromTDStats is SolveFromTD with latency telemetry: each node's
+// subproblem enumeration and the two semijoin sweeps of Acyclic Solving
+// land in st's join/semijoin batch histogram. A nil st is free beyond one
+// check per batch, and telemetry never changes the result.
+func SolveFromTDStats(c *CSP, d *decomp.Decomposition, st *telemetry.Stats) ([]int, bool, error) {
 	if err := d.ValidateTD(); err != nil {
 		return nil, false, fmt.Errorf("csp: invalid tree decomposition: %w", err)
 	}
@@ -42,7 +52,9 @@ func SolveFromTD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
 	// its χ variables consistent with the placed constraints.
 	nodeRel := make(map[*decomp.Node]*Relation, d.NumNodes())
 	for _, n := range d.Nodes() {
+		t0 := time.Now()
 		rel, err := enumerateSubproblem(c, n.Chi.Slice(), placed[n])
+		st.ObserveCQBatch(time.Since(t0))
 		if err != nil {
 			return nil, false, err
 		}
@@ -52,7 +64,7 @@ func SolveFromTD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
 		nodeRel[n] = rel
 	}
 
-	sol, ok := acyclicOverDecomposition(c, d, nodeRel)
+	sol, ok := acyclicOverDecomposition(c, d, nodeRel, st)
 	return sol, ok, nil
 }
 
@@ -61,6 +73,14 @@ func SolveFromTD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
 // R_p = π_{χ(p)}(⋈_{h∈λ(p)} R_h) — polynomial in the size of the instance
 // for fixed width — and Acyclic Solving finishes the job.
 func SolveFromGHD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
+	return SolveFromGHDStats(c, d, nil)
+}
+
+// SolveFromGHDStats is SolveFromGHD with latency telemetry: each node's
+// λ-join batch and the two semijoin sweeps of Acyclic Solving land in st's
+// join/semijoin batch histogram. A nil st is free beyond one check per
+// batch, and telemetry never changes the result.
+func SolveFromGHDStats(c *CSP, d *decomp.Decomposition, st *telemetry.Stats) ([]int, bool, error) {
 	if err := d.ValidateGHD(); err != nil {
 		return nil, false, fmt.Errorf("csp: invalid generalized hypertree decomposition: %w", err)
 	}
@@ -80,6 +100,7 @@ func SolveFromGHD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
 			nodeRel[n] = &Relation{Tuples: [][]int{{}}}
 			continue
 		}
+		t0 := time.Now()
 		joined := c.Constraints[n.Lambda[0]].Rel.Clone()
 		for _, e := range n.Lambda[1:] {
 			joined = Join(joined, c.Constraints[e].Rel)
@@ -88,13 +109,14 @@ func SolveFromGHD(c *CSP, d *decomp.Decomposition) ([]int, bool, error) {
 			}
 		}
 		rel := Project(joined, chi)
+		st.ObserveCQBatch(time.Since(t0))
 		if rel.Size() == 0 && len(chi) > 0 {
 			return nil, false, nil
 		}
 		nodeRel[n] = rel
 	}
 
-	sol, ok := acyclicOverDecomposition(c, d, nodeRel)
+	sol, ok := acyclicOverDecomposition(c, d, nodeRel, st)
 	return sol, ok, nil
 }
 
@@ -171,9 +193,11 @@ func satisfiedAt(con *Constraint, row []int, pos map[int]int) bool {
 }
 
 // acyclicOverDecomposition runs the Acyclic Solving passes over the
-// decomposition tree with per-node relations.
-func acyclicOverDecomposition(c *CSP, d *decomp.Decomposition, nodeRel map[*decomp.Node]*Relation) ([]int, bool) {
+// decomposition tree with per-node relations. Each semijoin sweep is one
+// observed batch on st (nil-safe).
+func acyclicOverDecomposition(c *CSP, d *decomp.Decomposition, nodeRel map[*decomp.Node]*Relation, st *telemetry.Stats) ([]int, bool) {
 	// Bottom-up semijoins.
+	t0 := time.Now()
 	post := postorderNodes(d)
 	for _, n := range post {
 		if n.Parent == nil {
@@ -194,8 +218,10 @@ func acyclicOverDecomposition(c *CSP, d *decomp.Decomposition, nodeRel map[*deco
 			return nil, false
 		}
 	}
+	st.ObserveCQBatch(time.Since(t0))
 
 	// Top-down semijoins for directional consistency.
+	t0 = time.Now()
 	pre := preorderNodes(d)
 	for _, n := range pre {
 		for _, ch := range n.Children {
@@ -208,6 +234,7 @@ func acyclicOverDecomposition(c *CSP, d *decomp.Decomposition, nodeRel map[*deco
 			}
 		}
 	}
+	st.ObserveCQBatch(time.Since(t0))
 
 	// Top-down selection.
 	assignment := make([]int, c.NumVars())

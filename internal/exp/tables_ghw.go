@@ -6,8 +6,10 @@ import (
 
 	"hypertree/internal/astar"
 	"hypertree/internal/bb"
+	"hypertree/internal/cover"
 	"hypertree/internal/ga"
 	"hypertree/internal/search"
+	"hypertree/internal/telemetry"
 )
 
 // Table7_1 reproduces Table 7.1: GA-ghw upper bounds on the CSP hypergraph
@@ -90,21 +92,31 @@ func Table7_2(cfg Config) *Table {
 }
 
 // searchTable runs an exact ghw search (BB-ghw or A*-ghw) over the suite.
+// Each run gets its own cover oracle and Stats so the table can report the
+// oracle-probe latency quantiles next to the search outcome (the
+// HyperBench-style distribution columns).
 func searchTable(cfg Config, id, title string,
-	run func(inst HGInstance) search.Result) *Table {
+	run func(inst HGInstance, opt search.Options) search.Result) *Table {
 	t := &Table{
 		ID:     id,
 		Title:  title,
-		Header: []string{"Hypergraph", "V", "H", "lb", "ub", "exact", "nodes", "time", "known/paper"},
+		Header: []string{"Hypergraph", "V", "H", "lb", "ub", "exact", "nodes", "time", "probe p50", "p95", "p99", "known/paper"},
 		Notes: []string{
 			"shape to reproduce: exact ghw on the structured families, bounds on the rest",
+			"probe p50/p95/p99 are cover-oracle lookup latency quantiles (log2-bucket estimates)",
 		},
 	}
 	for _, inst := range hypergraphSuite(cfg.Full) {
 		h := inst.Build()
+		orc := cover.New(h, cover.Options{})
+		st := new(telemetry.Stats)
 		start := time.Now()
-		res := run(inst)
+		res := run(inst, search.Options{
+			MaxNodes: cfg.ghwNodes(), Seed: cfg.Seed, Cover: orc, Stats: st,
+		})
 		elapsed := time.Since(start)
+		st.AddCoverLatency(orc.LatencySnapshots())
+		probe := st.Snapshot().CoverProbeNs
 		ref := "-"
 		if inst.KnownGHW >= 0 {
 			ref = itoa(inst.KnownGHW)
@@ -114,17 +126,35 @@ func searchTable(cfg Config, id, title string,
 		t.Rows = append(t.Rows, []string{
 			inst.Name, itoa(h.NumVertices()), itoa(h.NumEdges()),
 			itoa(res.LowerBound), itoa(res.Width), fmt.Sprintf("%v", res.Exact),
-			itoa(int(res.Nodes)), elapsed.Round(time.Millisecond).String(), ref,
+			itoa(int(res.Nodes)), elapsed.Round(time.Millisecond).String(),
+			quantStr(probe, 0.50), quantStr(probe, 0.95), quantStr(probe, 0.99), ref,
 		})
 	}
 	return t
 }
 
+// quantStr renders a latency quantile of a nanosecond histogram, or "-"
+// when the run made no observations.
+func quantStr(hs telemetry.HistSnapshot, q float64) string {
+	if hs.Count == 0 {
+		return "-"
+	}
+	d := time.Duration(hs.Quantile(q))
+	switch {
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
 // Table8_1 reproduces Table 8.1: BB-ghw exact results and bounds.
 func Table8_1(cfg Config) *Table {
 	return searchTable(cfg, "8.1", "BB-ghw on CSP hypergraph benchmarks",
-		func(inst HGInstance) search.Result {
-			return bb.GHW(inst.Build(), search.Options{MaxNodes: cfg.ghwNodes(), Seed: cfg.Seed})
+		func(inst HGInstance, opt search.Options) search.Result {
+			return bb.GHW(inst.Build(), opt)
 		})
 }
 
@@ -164,8 +194,8 @@ func Table8_2(cfg Config) *Table {
 // bounds.
 func Table9_1(cfg Config) *Table {
 	return searchTable(cfg, "9.1", "A*-ghw on CSP hypergraph benchmarks",
-		func(inst HGInstance) search.Result {
-			return astar.GHW(inst.Build(), search.Options{MaxNodes: cfg.ghwNodes(), Seed: cfg.Seed})
+		func(inst HGInstance, opt search.Options) search.Result {
+			return astar.GHW(inst.Build(), opt)
 		})
 }
 

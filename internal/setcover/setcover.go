@@ -11,9 +11,11 @@ package setcover
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/telemetry"
 )
 
 // Solver answers set-cover queries against a fixed hypergraph's edge set.
@@ -22,6 +24,13 @@ import (
 type Solver struct {
 	h   *hypergraph.Hypergraph
 	rng *rand.Rand
+
+	// ExactLatency, when non-nil, receives the wall-clock duration of each
+	// Exact call in nanoseconds. The cover oracle points its pooled
+	// solvers at its shared exact-solve histogram; standalone solvers
+	// leave it nil and pay one nil check. Latency observation never feeds
+	// back into solving.
+	ExactLatency *telemetry.Histogram
 
 	// coverable holds the vertices occurring in at least one hyperedge.
 	// Vertices outside it are unconstrained and are ignored by covers (a
@@ -135,6 +144,9 @@ func (s *Solver) GreedySize(target *bitset.Set) int {
 // after dominance elimination, branching on the uncovered vertex with the
 // fewest candidates.
 func (s *Solver) Exact(target *bitset.Set) []int {
+	if s.ExactLatency != nil {
+		defer s.ExactLatency.ObserveSince(time.Now())
+	}
 	target = target.Clone()
 	target.IntersectWith(s.coverable)
 	if target.Empty() {

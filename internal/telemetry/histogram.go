@@ -1,0 +1,213 @@
+// Fixed-bucket log₂-scale histograms for latency and size distributions.
+//
+// The HyperBench-style empirical program the repo reproduces reports
+// latency *distributions* across thousands of instances, not just counts;
+// a Histogram is the cheapest structure that supports that: observations
+// land in one of HistBuckets power-of-two buckets with a single atomic
+// increment (no locks, no allocation), snapshots merge component-wise so
+// portfolio workers and bench repetitions compose, and p50/p95/p99 are
+// estimated by linear interpolation inside the winning bucket.
+//
+// Like every other telemetry primitive, a nil *Histogram discards
+// observations at the cost of one nil check, and attaching one must never
+// change engine results.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count. Bucket i holds observations v
+// with 2^(i-1) < v ≤ 2^i (bucket 0 holds v ≤ 1); the last bucket is
+// unbounded above. 48 buckets cover 1ns..~78h of nanosecond latencies,
+// far beyond any run this repo performs.
+const HistBuckets = 48
+
+// histBucketOf maps a value to its bucket index: ceil(log₂ v), clamped.
+func histBucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // ceil(log2 v) for v ≥ 2
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// HistBucketUpper returns the inclusive upper bound of bucket i
+// (math.MaxInt64 for the last, unbounded bucket).
+func HistBucketUpper(i int) int64 {
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Histogram is a concurrency-safe log₂-bucketed histogram. The zero value
+// is ready to use; a nil *Histogram discards observations. Updates are
+// single atomic increments, so hot loops (oracle probes, per-task batch
+// timing) can observe unconditionally.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero). Safe on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds. Safe on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d))
+}
+
+// ObserveSince records the nanoseconds elapsed since t0. Safe on nil.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Snapshot copies the histogram into a mergeable plain struct. The reads
+// are individually atomic, not a consistent group — under concurrent
+// observation Count/Sum/Buckets may disagree by in-flight updates, which
+// is fine for telemetry. Safe on nil (returns the zero snapshot).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	last := -1
+	var buckets [HistBuckets]int64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			buckets[i] = c
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), buckets[:last+1]...)
+	}
+	return s
+}
+
+// AddSnapshot folds a snapshot back into the live histogram (the inverse
+// direction of Snapshot, used when a shared resource like the cover oracle
+// folds its per-run distribution into the run Stats). Safe on nil.
+func (h *Histogram) AddSnapshot(b HistSnapshot) {
+	if h == nil {
+		return
+	}
+	for i, c := range b.Buckets {
+		if c != 0 && i < HistBuckets {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(b.Sum)
+	h.count.Add(b.Count)
+}
+
+// HistSnapshot is a plain, JSON-encodable copy of a Histogram. Buckets is
+// trimmed after the last non-zero bucket (so an unused histogram encodes
+// as {0,0,null}); index i still means "≤ 2^i".
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Add returns the component-wise sum of two histogram snapshots. It is
+// associative and commutative (the telemetry composition tests assert
+// this), so portfolio workers and bench repetitions may merge in any
+// order.
+func (a HistSnapshot) Add(b HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	if n > 0 {
+		out.Buckets = make([]int64, n)
+		copy(out.Buckets, a.Buckets)
+		for i, c := range b.Buckets {
+			out.Buckets[i] += c
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values:
+// it finds the bucket holding the q·Count-th observation and linearly
+// interpolates between the bucket's bounds. Returns 0 for an empty
+// histogram. The estimate is exact to within one bucket width (a factor
+// of 2), which is the design trade for lock-free O(1) observation.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(int64(1)) // bucket 0: (…, 1]
+			if i > 0 {
+				if i >= HistBuckets-1 {
+					hi = 2 * lo // unbounded top bucket: assume one octave
+				} else {
+					hi = float64(int64(1) << uint(i))
+				}
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	// All mass below rank (only possible via rounding): top of last bucket.
+	last := len(s.Buckets) - 1
+	return float64(HistBucketUpper(last))
+}
+
+// P50, P95 and P99 are the conventional quantile shorthands.
+func (s HistSnapshot) P50() float64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P95() float64 { return s.Quantile(0.95) }
+func (s HistSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// Mean returns the exact arithmetic mean (Sum is tracked exactly even
+// though bucket membership is approximate). Zero for an empty histogram.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

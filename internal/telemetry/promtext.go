@@ -1,0 +1,142 @@
+// Prometheus text-format (v0.0.4) exposition of the run counters and
+// latency histograms, so a long-lived process (the -pprof debug server
+// today, the htdserve daemon tomorrow) can be scraped by any Prometheus-
+// compatible collector without taking on a client-library dependency.
+//
+// The format is the plain-text one every scraper accepts: one HELP/TYPE
+// header per family, counter samples as bare numbers, histogram samples as
+// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`. Durations
+// are exposed in seconds (the Prometheus base unit); the log₂-nanosecond
+// buckets translate to le bounds of 2^i/1e9 seconds.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// promCounter is one counter family of the exposition.
+type promCounter struct {
+	name string
+	help string
+	val  func(Snapshot) int64
+}
+
+// promHist is one histogram family; values are nanoseconds in the
+// snapshot and seconds on the wire.
+type promHist struct {
+	name string
+	help string
+	val  func(Snapshot) HistSnapshot
+}
+
+var promCounters = []promCounter{
+	{"htd_nodes_total", "Search-tree nodes expanded (BB, A*).", func(s Snapshot) int64 { return s.Nodes }},
+	{"htd_prune_simplicial_total", "Branchings forced by the simplicial reduction rule.", func(s Snapshot) int64 { return s.PruneSimplicial }},
+	{"htd_prune_pr2_total", "Candidates removed by Pruning Rule 2.", func(s Snapshot) int64 { return s.PrunePR2 }},
+	{"htd_prune_cover_bound_total", "Subtrees closed by the PR1 finish/cover bound.", func(s Snapshot) int64 { return s.PruneCoverBound }},
+	{"htd_prune_lb_cutoff_total", "Branches cut by f/g reaching the incumbent.", func(s Snapshot) int64 { return s.PruneLBCutoff }},
+	{"htd_prune_dominance_total", "Revisits cut by the eliminated-set dominance cache.", func(s Snapshot) int64 { return s.PruneDominance }},
+	{"htd_ga_generations_total", "GA / island generations completed.", func(s Snapshot) int64 { return s.GAGenerations }},
+	{"htd_ga_evaluations_total", "GA fitness evaluations.", func(s Snapshot) int64 { return s.GAEvaluations }},
+	{"htd_restarts_total", "SAIGA epoch boundaries (parameter re-orientation).", func(s Snapshot) int64 { return s.Restarts }},
+	{"htd_heur_steps_total", "Greedy-ordering elimination steps.", func(s Snapshot) int64 { return s.HeurSteps }},
+	{"htd_cover_hits_total", "Cover-oracle transposition-table hits.", func(s Snapshot) int64 { return s.CoverHits }},
+	{"htd_cover_misses_total", "Cover-oracle misses (covers actually solved).", func(s Snapshot) int64 { return s.CoverMisses }},
+	{"htd_cover_evictions_total", "Cover-oracle bags evicted by the memory bound.", func(s Snapshot) int64 { return s.CoverEvictions }},
+	{"htd_cq_join_tuples_total", "Tuples emitted by query-engine join kernels.", func(s Snapshot) int64 { return s.CQJoinTuples }},
+	{"htd_cq_semijoin_tuples_total", "Tuples surviving query-engine semijoin kernels.", func(s Snapshot) int64 { return s.CQSemijoinTuples }},
+	{"htd_cq_output_joins_total", "Output-pass join operations (0 for Boolean runs).", func(s Snapshot) int64 { return s.CQOutputJoins }},
+	{"htd_cq_delta_tuples_total", "Standing-query deltas applied (inserts + deletes).", func(s Snapshot) int64 { return s.CQDeltaTuples }},
+	{"htd_cq_batch_shared_joins_total", "Batch-mode base relations served from the shared intern store.", func(s Snapshot) int64 { return s.CQBatchSharedJoins }},
+	{"htd_gc_count_total", "GC cycles observed over the run.", func(s Snapshot) int64 { return s.GCCount }},
+	{"htd_mem_samples_total", "MemStats samples taken by the background sampler.", func(s Snapshot) int64 { return s.MemSamples }},
+}
+
+// promGauges are point-in-time byte/duration readings (not monotone).
+var promGauges = []promCounter{
+	{"htd_heap_high_water_bytes", "Maximum observed live-heap bytes.", func(s Snapshot) int64 { return s.HeapHighWaterBytes }},
+	{"htd_total_alloc_bytes", "Cumulative allocated bytes over the run.", func(s Snapshot) int64 { return s.TotalAllocBytes }},
+	{"htd_gc_pause_total_ns", "Total GC stop-the-world pause nanoseconds over the run.", func(s Snapshot) int64 { return s.GCPauseTotalNs }},
+}
+
+var promHists = []promHist{
+	{"htd_cover_probe_seconds", "Cover-oracle probe latency (hit or miss).", func(s Snapshot) HistSnapshot { return s.CoverProbeNs }},
+	{"htd_cover_solve_seconds", "Exact set-cover solve latency (oracle misses).", func(s Snapshot) HistSnapshot { return s.CoverSolveNs }},
+	{"htd_cq_level_wait_seconds", "Per-worker barrier wait at parallel-evaluator level boundaries.", func(s Snapshot) HistSnapshot { return s.CQLevelWaitNs }},
+	{"htd_cq_batch_seconds", "Join/semijoin task batch duration (cq + csp engines).", func(s Snapshot) HistSnapshot { return s.CQBatchNs }},
+	{"htd_cq_delta_apply_seconds", "Standing-query delta apply latency.", func(s Snapshot) HistSnapshot { return s.CQDeltaApplyNs }},
+	{"htd_first_incumbent_seconds", "Time to first incumbent per portfolio worker.", func(s Snapshot) HistSnapshot { return s.FirstIncumbentNs }},
+}
+
+// WriteProm writes the snapshot in Prometheus text format v0.0.4. Every
+// family is always present (scrapers prefer stable family sets); unused
+// histograms expose only their +Inf bucket.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	for _, c := range promCounters {
+		if err := writePromScalar(w, c, "counter", snap); err != nil {
+			return err
+		}
+	}
+	for _, g := range promGauges {
+		if err := writePromScalar(w, g, "gauge", snap); err != nil {
+			return err
+		}
+	}
+	for _, h := range promHists {
+		if err := writePromHist(w, h, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromScalar(w io.Writer, c promCounter, typ string, snap Snapshot) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+		c.name, c.help, c.name, typ, c.name, c.val(snap))
+	return err
+}
+
+func writePromHist(w io.Writer, h promHist, snap Snapshot) error {
+	hs := h.val(snap)
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, c := range hs.Buckets {
+		cum += c
+		le := strconv.FormatFloat(float64(HistBucketUpper(i))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		h.name, hs.Count,
+		h.name, strconv.FormatFloat(float64(hs.Sum)/1e9, 'g', -1, 64),
+		h.name, hs.Count)
+	return err
+}
+
+// PromHandler returns an http.Handler exposing the Stats published under
+// name (via PublishExpvar) in Prometheus text format — the /metrics
+// endpoint of the -pprof debug server. The handler reads through the same
+// swappable holder expvar does, so a long-lived process always serves its
+// latest run. Unpublished names serve the zero snapshot.
+func PromHandler(name string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		expvarMu.Lock()
+		holder := expvarHolders[name]
+		expvarMu.Unlock()
+		var st *Stats
+		if holder != nil {
+			st = holder.Load()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, st.Snapshot()); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+}

@@ -55,6 +55,14 @@ type Stats struct {
 	memGCCount       atomic.Int64 // GC cycles over the run
 	memSamples       atomic.Int64 // MemStats samples taken
 
+	// Latency distributions (log₂-bucketed nanoseconds; see histogram.go).
+	coverProbeNs  Histogram // cover-oracle probe latency (hit or miss)
+	coverSolveNs  Histogram // exact set-cover solve latency (oracle misses)
+	cqLevelWaitNs Histogram // per-worker barrier wait at cq level boundaries
+	cqBatchNs     Histogram // join/semijoin task batch duration (cq + csp)
+	cqDeltaNs     Histogram // standing-query delta apply latency
+	firstIncNs    Histogram // time to first incumbent, per portfolio worker
+
 	mu    sync.Mutex
 	t0    time.Time
 	trace []Incumbent
@@ -217,6 +225,67 @@ func (s *Stats) AddCover(hits, misses, evictions int64) {
 	s.coverEvictions.Add(evictions)
 }
 
+// Latency observations; each is one nil check when telemetry is off and
+// one atomic bucket increment when it is on.
+
+// ObserveCoverProbe records one cover-oracle probe latency. Safe on nil.
+func (s *Stats) ObserveCoverProbe(d time.Duration) {
+	if s != nil {
+		s.coverProbeNs.ObserveDuration(d)
+	}
+}
+
+// ObserveCoverSolve records one exact set-cover solve latency. Safe on nil.
+func (s *Stats) ObserveCoverSolve(d time.Duration) {
+	if s != nil {
+		s.coverSolveNs.ObserveDuration(d)
+	}
+}
+
+// ObserveLevelWait records the time one parallel-evaluator worker idled at
+// a level barrier waiting for the level's slowest worker. Safe on nil.
+func (s *Stats) ObserveLevelWait(d time.Duration) {
+	if s != nil {
+		s.cqLevelWaitNs.ObserveDuration(d)
+	}
+}
+
+// ObserveCQBatch records the duration of one join/semijoin task batch of
+// the Yannakakis evaluator or the CSP solver. Safe on nil.
+func (s *Stats) ObserveCQBatch(d time.Duration) {
+	if s != nil {
+		s.cqBatchNs.ObserveDuration(d)
+	}
+}
+
+// ObserveDeltaApply records the end-to-end latency of one standing-query
+// delta (including conflict rollback, if any). Safe on nil.
+func (s *Stats) ObserveDeltaApply(d time.Duration) {
+	if s != nil {
+		s.cqDeltaNs.ObserveDuration(d)
+	}
+}
+
+// ObserveFirstIncumbent records one worker's time-to-first-incumbent (the
+// anytime metric of Section 9's portfolio runs). Safe on nil.
+func (s *Stats) ObserveFirstIncumbent(d time.Duration) {
+	if s != nil {
+		s.firstIncNs.ObserveDuration(d)
+	}
+}
+
+// AddCoverLatency folds the cover oracle's probe and exact-solve latency
+// distributions into s, the histogram analogue of AddCover: the oracle
+// owns live histograms while a run is shared by portfolio workers and the
+// facade folds them in once per run. Safe on a nil receiver.
+func (s *Stats) AddCoverLatency(probe, solve HistSnapshot) {
+	if s == nil {
+		return
+	}
+	s.coverProbeNs.AddSnapshot(probe)
+	s.coverSolveNs.AddSnapshot(solve)
+}
+
 // ObserveMem folds one runtime.MemStats sample into s: heapAlloc raises
 // the heap high-water mark, while the totals (deltas against the
 // sampler's baseline) replace the previous observation — they are
@@ -267,6 +336,17 @@ type Snapshot struct {
 	GCPauseTotalNs     int64 `json:"gc_pause_total_ns"`
 	GCCount            int64 `json:"gc_count"`
 	MemSamples         int64 `json:"mem_samples"`
+
+	// Latency distributions in nanoseconds (empty unless the matching
+	// instrumentation point fired). Embedded wherever Snapshot travels —
+	// ledger lines, bench records, expvar — so quantiles ride along for
+	// free.
+	CoverProbeNs     HistSnapshot `json:"cover_probe_ns"`
+	CoverSolveNs     HistSnapshot `json:"cover_solve_ns"`
+	CQLevelWaitNs    HistSnapshot `json:"cq_level_wait_ns"`
+	CQBatchNs        HistSnapshot `json:"cq_batch_ns"`
+	CQDeltaApplyNs   HistSnapshot `json:"cq_delta_apply_ns"`
+	FirstIncumbentNs HistSnapshot `json:"first_incumbent_ns"`
 }
 
 // Snapshot reads the counters atomically (individually, not as a group).
@@ -301,6 +381,13 @@ func (s *Stats) Snapshot() Snapshot {
 		GCPauseTotalNs:     s.memGCPauseNs.Load(),
 		GCCount:            s.memGCCount.Load(),
 		MemSamples:         s.memSamples.Load(),
+
+		CoverProbeNs:     s.coverProbeNs.Snapshot(),
+		CoverSolveNs:     s.coverSolveNs.Snapshot(),
+		CQLevelWaitNs:    s.cqLevelWaitNs.Snapshot(),
+		CQBatchNs:        s.cqBatchNs.Snapshot(),
+		CQDeltaApplyNs:   s.cqDeltaNs.Snapshot(),
+		FirstIncumbentNs: s.firstIncNs.Snapshot(),
 	}
 }
 
@@ -334,6 +421,13 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		GCPauseTotalNs:     a.GCPauseTotalNs + b.GCPauseTotalNs,
 		GCCount:            a.GCCount + b.GCCount,
 		MemSamples:         a.MemSamples + b.MemSamples,
+
+		CoverProbeNs:     a.CoverProbeNs.Add(b.CoverProbeNs),
+		CoverSolveNs:     a.CoverSolveNs.Add(b.CoverSolveNs),
+		CQLevelWaitNs:    a.CQLevelWaitNs.Add(b.CQLevelWaitNs),
+		CQBatchNs:        a.CQBatchNs.Add(b.CQBatchNs),
+		CQDeltaApplyNs:   a.CQDeltaApplyNs.Add(b.CQDeltaApplyNs),
+		FirstIncumbentNs: a.FirstIncumbentNs.Add(b.FirstIncumbentNs),
 	}
 }
 
@@ -381,6 +475,12 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.memGCPauseNs.Add(b.GCPauseTotalNs)
 	s.memGCCount.Add(b.GCCount)
 	s.memSamples.Add(b.MemSamples)
+	s.coverProbeNs.AddSnapshot(b.CoverProbeNs)
+	s.coverSolveNs.AddSnapshot(b.CoverSolveNs)
+	s.cqLevelWaitNs.AddSnapshot(b.CQLevelWaitNs)
+	s.cqBatchNs.AddSnapshot(b.CQBatchNs)
+	s.cqDeltaNs.AddSnapshot(b.CQDeltaApplyNs)
+	s.firstIncNs.AddSnapshot(b.FirstIncumbentNs)
 }
 
 // Incumbent is one point of the anytime trace: at Elapsed since the run

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"expvar"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ func TestNilSafety(t *testing.T) {
 	if s.Trace() != nil {
 		t.Error("nil Stats returned a non-nil trace")
 	}
-	if s.Snapshot() != (Snapshot{}) {
+	if !reflect.DeepEqual(s.Snapshot(), Snapshot{}) {
 		t.Error("nil Stats returned a non-zero snapshot")
 	}
 	if s.Elapsed() != 0 {
@@ -66,7 +67,7 @@ func TestCountersAndSnapshot(t *testing.T) {
 		PruneLBCutoff: 1, PruneDominance: 1, GAGenerations: 1,
 		GAEvaluations: 2, Restarts: 1, HeurSteps: 1,
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("snapshot = %+v, want %+v", got, want)
 	}
 	if sum := got.Add(got); sum.Nodes != 6 || sum.GAEvaluations != 4 {

@@ -13,6 +13,7 @@ package htd
 
 import (
 	"fmt"
+	"sync"
 
 	"hypertree/internal/search"
 	"hypertree/internal/telemetry"
@@ -58,6 +59,7 @@ type scope struct {
 	trace  *telemetry.Trace // structured event ring, shared across workers
 	track  int              // this scope's trace timeline (0 = run, worker slot+1)
 	method Method
+	first  sync.Once // gates the scope's time-to-first-incumbent observation
 }
 
 // newScope derives the run's observation scope from the options, or nil
@@ -124,6 +126,13 @@ func (sc *scope) incumbentHook() func(width int) {
 	method := sc.method.String()
 	track := sc.track
 	return func(w int) {
+		// Time-to-first-incumbent, measured against the shared run clock and
+		// recorded on the scope's own counters (per worker in a portfolio),
+		// regardless of whether this width improves the global incumbent —
+		// each worker's anytime behaviour is its own distribution point.
+		sc.first.Do(func() {
+			sc.stats.ObserveFirstIncumbent(sc.root.Elapsed())
+		})
 		if inc, ok := sc.root.RecordIncumbent(w, method); ok {
 			sc.obs.Incumbent(inc)
 			sc.trace.Instant(track, "incumbent",

@@ -75,3 +75,34 @@ func BenchmarkBBTreewidthTraceOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGHWHistogramsOff / On pin the cost of the latency histograms on
+// a workload that actually exercises them: GHW over a hypergraph drives
+// the cover oracle, so every probe and exact solve passes an
+// ObserveSince/ExactLatency point (reusing the fixed-budget workload from
+// cover_bench_test.go). Off is the nil fast path — no Stats, one nil check
+// per observation; On attaches a Stats so each point is a time.Now pair
+// plus one atomic bucket increment. The ≤2% acceptance bar for the
+// disabled path extends to these points.
+func BenchmarkGHWHistogramsOff(b *testing.B) {
+	h := benchGHWInstance()
+	opt := benchGHWOpts(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GHW(h, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGHWHistogramsOn(b *testing.B) {
+	h := benchGHWInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := benchGHWOpts(false)
+		opt.Stats = new(Stats)
+		if _, err := GHW(h, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
