@@ -241,7 +241,7 @@ func BenchmarkFractionalCover(b *testing.B) {
 		target[i] = i
 	}
 	for i := 0; i < b.N; i++ {
-		w, _ := FractionalCover(h, target)
+		w, _, _ := FractionalCover(h, target)
 		if w < 5.9 || w > 6.1 {
 			b.Fatalf("ρ*(K12) = %v", w)
 		}

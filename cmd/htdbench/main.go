@@ -48,8 +48,9 @@ func main() {
 	queries := flag.Bool("queries", false, "with -json: run the conjunctive-query workload catalog (BENCH_query.json) instead of the decomposition catalog")
 	out := flag.String("o", "BENCH_portfolio.json", "output path for -json ('-' = stdout)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
-	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio")
+	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio|fhw")
 	noCoverCache := flag.Bool("nocovercache", false, "disable the shared cover-oracle cache in GHW runs (for measuring cache effectiveness)")
+	fracBound := flag.Bool("fracbound", false, "enable the fractional (LP) residual lower bound in exact GHW runs; compare node counts against a baseline without it to measure the extra pruning")
 	instances := flag.String("instances", "", "regexp filter on catalog instance names for -json (empty = all)")
 	compare := flag.Bool("compare", false, "compare two -json reports: htdbench -compare baseline.json new.json")
 	maxWall := flag.Float64("max-wall", 2.0, "-compare: fail when wall time exceeds this factor of the baseline (0 = off)")
@@ -82,7 +83,7 @@ func main() {
 		if *queries && *out == "BENCH_portfolio.json" {
 			*out = "BENCH_query.json"
 		}
-		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *instances, *queries); err != nil {
+		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *fracBound, *instances, *queries); err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
 			os.Exit(2)
 		}
@@ -108,7 +109,7 @@ func main() {
 
 // runJSON executes the bench harness (decomposition catalog, or the
 // query-workload catalog when queries is set) and writes the report.
-func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache bool, instances string, queries bool) error {
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache, fracBound bool, instances string, queries bool) error {
 	var ms []htd.Method
 	for _, name := range strings.Split(methodList, ",") {
 		name = strings.TrimSpace(name)
@@ -134,6 +135,7 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 		Timeout:           timeout,
 		Methods:           ms,
 		DisableCoverCache: noCoverCache,
+		FracBound:         fracBound,
 		Instances:         filter,
 		Log:               os.Stderr,
 	}

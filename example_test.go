@@ -96,7 +96,7 @@ func ExampleAnswerQuery() {
 // fractionally.
 func ExampleFractionalCover() {
 	h, _ := htd.ParseHypergraph(strings.NewReader("a(x,y), b(y,z), c(z,x)."))
-	w, _ := htd.FractionalCover(h, []int{0, 1, 2})
+	w, _, _ := htd.FractionalCover(h, []int{0, 1, 2})
 	fmt.Printf("%.1f\n", w)
 	// Output: 1.5
 }

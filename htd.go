@@ -135,10 +135,17 @@ const (
 	// MethodAStar runs A* (exact given budget; anytime lower bounds).
 	MethodAStar
 	// MethodPortfolio races several methods concurrently (Options.Portfolio,
-	// or DefaultPortfolio when empty) and returns the best answer; the first
-	// exact result cancels the rest. Combine with DecomposeCtx / GHWCtx /
-	// TreewidthCtx and a deadline for anytime behaviour.
+	// or the per-problem default portfolio when empty) and returns the best
+	// answer; the first exact result cancels the rest. Combine with
+	// DecomposeCtx / GHWCtx / TreewidthCtx and a deadline for anytime
+	// behaviour.
 	MethodPortfolio
+	// MethodFHW runs the anytime fractional-hypertree-width local search and
+	// scores its best ordering with exact integral covers, so it can race in
+	// the GHW portfolio on equal terms (Result.Width is the integral ghw of
+	// the ordering; Result.FracWidth carries the fractional objective). GHW
+	// and Decompose only; not valid for treewidth.
+	MethodFHW
 )
 
 // String names the method.
@@ -156,6 +163,8 @@ func (m Method) String() string {
 		return "astar"
 	case MethodPortfolio:
 		return "portfolio"
+	case MethodFHW:
+		return "fhw"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
@@ -175,8 +184,10 @@ func ParseMethod(s string) (Method, error) {
 		return MethodAStar, nil
 	case "portfolio":
 		return MethodPortfolio, nil
+	case "fhw":
+		return MethodFHW, nil
 	}
-	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar|portfolio)", s)
+	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar|portfolio|fhw)", s)
 }
 
 // Options configures Decompose and the width functions.
@@ -202,6 +213,14 @@ type Options struct {
 	// which makes the whole portfolio result — witness ordering included —
 	// reproducible for a fixed Seed.
 	Jobs int
+	// FracBound turns on the fractional residual lower bound in the exact
+	// GHW searches (BB-ghw, A*-ghw): residual states additionally pay
+	// ⌈ρ*(χ_v)⌉ for their cheapest next elimination, a bound at least as
+	// strong as the default k-set-cover one. Widths and orderings are
+	// identical with the knob on or off — only node counts change (an LP per
+	// novel residual bag buys extra pruning). Ignored by treewidth and the
+	// heuristic methods.
+	FracBound bool
 	// DisableCoverCache turns off the shared cover-oracle memo table the
 	// GHW engines use (min-fill width evaluation, BB-ghw, A*-ghw, the final
 	// λ-materialization, and every portfolio worker, which otherwise share
@@ -386,6 +405,19 @@ func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope, orc *cov
 		so := sc.searchOptions(opt)
 		so.Cover = orc
 		res = astar.GHWCtx(ctx, h, so)
+	case MethodFHW:
+		r, err := frac.SearchCtx(ctx, h, fracOptions(opt, sc, orc))
+		if err != nil {
+			return nil, Result{}, err
+		}
+		// Score the fractional winner with exact integral covers so it
+		// competes in the integral race on equal terms; the fractional
+		// objective rides along in FracWidth.
+		w := order.GHWidthWith(h, r.Ordering, nil, true, orc)
+		if hook := sc.incumbentHook(); hook != nil {
+			hook(w)
+		}
+		res = Result{Width: w, Ordering: r.Ordering, FracWidth: r.Width}
 	default:
 		return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
@@ -577,10 +609,60 @@ func HypertreeDecomposeBalanced(h *Hypergraph, k int) (*Decomposition, bool) {
 
 // FractionalCover returns ρ*(target): the minimum total weight of a
 // fractional edge cover of the target vertex set, with the optimal edge
-// weights.
-func FractionalCover(h *Hypergraph, target []int) (float64, map[int]float64) {
+// weights. The LP is always feasible and bounded, so a non-nil error
+// signals numerical trouble in the simplex, not a property of the input.
+func FractionalCover(h *Hypergraph, target []int) (float64, map[int]float64, error) {
 	set := bitset.FromSlice(target)
 	return frac.Cover(h, set)
+}
+
+// FHWResult reports an anytime fractional-hypertree-width run: the best
+// fractional width found, its witnessing elimination ordering, and whether
+// the round budget ran to completion (Complete=false after a deadline).
+type FHWResult = frac.Result
+
+// FHW computes an anytime upper bound on the fractional hypertree width
+// fhw(H): min-fill seeding plus parallel insertion-move local search over
+// elimination orderings, with all fractional covers solved exactly by the
+// sparse simplex and memoized in a shared oracle. See FHWCtx.
+func FHW(h *Hypergraph, opt Options) (FHWResult, error) {
+	return FHWCtx(context.Background(), h, opt)
+}
+
+// FHWCtx is FHW under a context, with the repo-wide anytime contract: on
+// deadline or cancellation the best incumbent found so far is returned
+// with Complete=false and a nil error; only when cancellation strikes
+// before the first incumbent exists is the context error returned.
+// Options.Jobs sets the local-search worker count (sharing one frac memo),
+// Options.MaxNodes caps the per-worker round budget, and Stats/Observer/
+// Trace attach exactly as for GHWCtx. The result is deterministic for a
+// fixed Seed and Jobs value.
+func FHWCtx(ctx context.Context, h *Hypergraph, opt Options) (FHWResult, error) {
+	opt.Method = MethodFHW
+	sc := newScope(opt)
+	sc.phase("start")
+	defer sc.phase("done")
+	orc := cover.New(h, cover.Options{Disabled: opt.DisableCoverCache, Trace: opt.Trace})
+	res, err := frac.SearchCtx(ctx, h, fracOptions(opt, sc, orc))
+	foldCover(opt.Stats, orc)
+	return res, err
+}
+
+// fracOptions maps the facade options onto the frac engine's, attaching
+// the scope's telemetry and the run's shared cover oracle.
+func fracOptions(opt Options, sc *scope, orc *cover.Oracle) frac.Options {
+	fo := frac.Options{
+		Seed:   opt.Seed,
+		Jobs:   opt.Jobs,
+		Oracle: orc,
+		Stats:  sc.engineStats(),
+		Trace:  sc.traceRef(),
+		Track:  sc.trackID(),
+	}
+	if opt.MaxNodes > 0 {
+		fo.Rounds = int(opt.MaxNodes)
+	}
+	return fo
 }
 
 // FHWUpperBound returns an upper bound on the fractional hypertree width

@@ -154,7 +154,10 @@ func TestHypertreeWidthFacade(t *testing.T) {
 
 func TestFractionalFacade(t *testing.T) {
 	h := gen.CliqueHypergraph(5)
-	w, weights := FractionalCover(h, []int{0, 1, 2, 3, 4})
+	w, weights, err := FractionalCover(h, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w < 2.49 || w > 2.51 {
 		t.Fatalf("ρ*(K5) = %v, want 2.5", w)
 	}

@@ -53,7 +53,7 @@ func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
 // cancellation contract.
 func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeCtx(ctx, h, rng, opt.Cover), rng, opt)
+	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeFrac(ctx, h, rng, opt.Cover, opt.FracBound), rng, opt)
 }
 
 type bbState struct {

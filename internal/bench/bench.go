@@ -39,8 +39,13 @@ type Record struct {
 	Width      int     `json:"width"`
 	LowerBound int     `json:"lower_bound"`
 	Exact      bool    `json:"exact"`
-	WallMs     float64 `json:"wall_ms"`
-	Nodes      int64   `json:"nodes"`
+	// FracWidth is the fractional width attached to the record: the fhw
+	// objective on Kind "fhw" rows, and the winning fhw worker's objective
+	// on ghw rows whose portfolio the fhw method won (zero elsewhere). The
+	// compare gate treats it like Width — any increase is a violation.
+	FracWidth float64 `json:"frac_width,omitempty"`
+	WallMs    float64 `json:"wall_ms"`
+	Nodes     int64   `json:"nodes"`
 	// Answers is the evaluation answer count of a query-workload record
 	// (Kind "cq"); the compare gate checks it exactly, since answers are
 	// deterministic for a fixed seed.
@@ -98,6 +103,11 @@ type Config struct {
 	// DisableCoverCache turns off the shared cover-oracle cache in every
 	// GHW run, for measuring cache effectiveness (htdbench -nocovercache).
 	DisableCoverCache bool
+	// FracBound turns on the fractional residual lower bound in the exact
+	// GHW searches (htdbench -fracbound). Widths are identical either way;
+	// comparing node counts against a baseline run without it measures the
+	// extra pruning the LP bound buys.
+	FracBound bool
 	// Instances, when non-nil, restricts the run to catalog instances
 	// whose name matches (htdbench -instances) — how the CI perf gate
 	// runs a fast pinned subset.
@@ -173,6 +183,7 @@ func Run(cfg Config) Report {
 			res, err := htd.GHWCtx(ctx, h, htd.Options{
 				Method: m, Seed: cfg.Seed, Stats: st,
 				DisableCoverCache: cfg.DisableCoverCache,
+				FracBound:         cfg.FracBound,
 			})
 			cancel()
 			wall := time.Since(start)
@@ -181,6 +192,28 @@ func Run(cfg Config) Report {
 			rep.Records = append(rep.Records, rec)
 			progress(cfg.Log, rec)
 		}
+		// One fhw record per hypergraph instance rides along with whatever
+		// method set was requested: the anytime fractional engine under the
+		// same budget, gated on its fractional objective instead of Width.
+		rec := Record{
+			Instance: inst.Name, Family: inst.Family, Kind: "fhw",
+			Vertices: h.NumVertices(), Edges: h.NumEdges(),
+			Method: "fhw", Seed: cfg.Seed,
+		}
+		st := new(htd.Stats)
+		ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		start := time.Now()
+		fres, err := htd.FHWCtx(ctx, h, htd.Options{
+			Seed: cfg.Seed, Stats: st,
+			DisableCoverCache: cfg.DisableCoverCache,
+		})
+		cancel()
+		wall := time.Since(start)
+		ms.Stop()
+		fill(&rec, htd.Result{FracWidth: fres.Width, Exact: false}, err, wall, st)
+		rep.Records = append(rep.Records, rec)
+		progress(cfg.Log, rec)
 	}
 	return rep
 }
@@ -225,6 +258,7 @@ func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.St
 	rec.Width = res.Width
 	rec.LowerBound = res.LowerBound
 	rec.Exact = res.Exact
+	rec.FracWidth = res.FracWidth
 	rec.Winner = res.Winner
 	rec.LowerBoundBy = res.LowerBoundBy
 }
@@ -236,6 +270,11 @@ func progress(w io.Writer, rec Record) {
 	if rec.Error != "" {
 		fmt.Fprintf(w, "%-12s %-4s %-10s error: %s (%.0fms)\n",
 			rec.Instance, rec.Kind, rec.Method, rec.Error, rec.WallMs)
+		return
+	}
+	if rec.Kind == "fhw" {
+		fmt.Fprintf(w, "%-12s %-4s %-10s frac_width=%.4f (%.0fms)\n",
+			rec.Instance, rec.Kind, rec.Method, rec.FracWidth, rec.WallMs)
 		return
 	}
 	fmt.Fprintf(w, "%-12s %-4s %-10s width=%d lb=%d exact=%v nodes=%d curve=%d (%.0fms)\n",

@@ -179,6 +179,13 @@ func compareRecord(b, c Record, th Thresholds) Diff {
 		d.Violations = append(d.Violations,
 			fmt.Sprintf("lower bound weakened %d -> %d", b.LowerBound, c.LowerBound))
 	}
+	// Fractional widths gate like Width (no thresholds), with a small
+	// epsilon for LP arithmetic; skipped when the baseline carries none
+	// (reports predating the fhw records).
+	if b.FracWidth > 0 && c.FracWidth > b.FracWidth+1e-6 {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("fractional width regressed %.4f -> %.4f", b.FracWidth, c.FracWidth))
+	}
 	// Query-workload answer counts are deterministic for a fixed seed: any
 	// drift is an evaluation correctness bug, not noise.
 	if b.Kind == "cq" && c.Answers != b.Answers {

@@ -92,6 +92,7 @@ type Oracle struct {
 
 	solvers sync.Pool // *setcover.Solver with deterministic tie-breaking
 	scratch sync.Pool // *bitset.Set canonical-bag buffers
+	fracLPs sync.Pool // *fracScratch fractional-LP assembly workspaces
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -102,9 +103,11 @@ type Oracle struct {
 	// facade folds these into the run-level Stats once per run (via
 	// Stats.AddCoverLatency). probeNs covers every query end-to-end (hit
 	// or miss); solveNs covers exact set-cover solves only, fed by the
-	// pooled solvers' ExactLatency hook.
+	// pooled solvers' ExactLatency hook; fracNs covers fractional-LP
+	// solves only (frac-memo misses).
 	probeNs telemetry.Histogram
 	solveNs telemetry.Histogram
+	fracNs  telemetry.Histogram
 }
 
 type coverShard struct {
@@ -118,10 +121,13 @@ type coverShard struct {
 type coverEntry struct {
 	bag       *bitset.Set
 	next      *coverEntry
-	greedy    []int // deterministic greedy cover (valid when hasGreedy)
-	exact     []int // minimum-cardinality cover (valid when hasExact)
+	greedy    []int        // deterministic greedy cover (valid when hasGreedy)
+	exact     []int        // minimum-cardinality cover (valid when hasExact)
+	fracCover []EdgeWeight // positive weights of an optimal fractional cover
+	fracVal   float64      // ρ*(bag) (valid when hasFrac)
 	hasGreedy bool
 	hasExact  bool
+	hasFrac   bool
 }
 
 // New returns an Oracle over h's hyperedges.
@@ -151,6 +157,7 @@ func New(h *hypergraph.Hypergraph, opt Options) *Oracle {
 		return sv
 	}
 	o.scratch.New = func() any { return bitset.New(h.NumVertices()) }
+	o.fracLPs.New = func() any { return &fracScratch{edgeRow: make(map[int]int)} }
 	return o
 }
 
@@ -166,9 +173,10 @@ func (o *Oracle) Counters() CounterSnapshot {
 	}
 }
 
-// LatencySnapshots reads the probe and exact-solve latency distributions.
-func (o *Oracle) LatencySnapshots() (probe, solve telemetry.HistSnapshot) {
-	return o.probeNs.Snapshot(), o.solveNs.Snapshot()
+// LatencySnapshots reads the probe, exact-solve, and fractional-LP
+// latency distributions.
+func (o *Oracle) LatencySnapshots() (probe, solve, frac telemetry.HistSnapshot) {
+	return o.probeNs.Snapshot(), o.solveNs.Snapshot(), o.fracNs.Snapshot()
 }
 
 // GreedySize returns the size of the deterministic greedy cover of target

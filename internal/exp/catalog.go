@@ -89,6 +89,15 @@ func hypergraphSuite(full bool) []HGInstance {
 		{"clique_10", func() *hypergraph.Hypergraph { return gen.CliqueHypergraph(10) }, 5, 5, "exact"},
 		{"chain_15", func() *hypergraph.Hypergraph { return gen.Chain(15, 4, 2) }, 1, 1, "exact"},
 		{"grid2d_6", func() *hypergraph.Hypergraph { return gen.Grid2DHypergraph(6, 6) }, -1, -1, "exact"},
+		// Binary-edge queen hypergraph: a dense instance the exact searches
+		// still solve at the root (the min-fill seed is provably optimal), so
+		// it pins the trivial end of the -fracbound node gate.
+		{"queenhg_4", func() *hypergraph.Hypergraph { return hypergraph.FromGraph(gen.Queen(4)) }, -1, -1, "exact"},
+		// Random CSP hypergraph whose exact ghw search does real branching
+		// (~850 BB/A* nodes in milliseconds): the instance where the
+		// fractional bound's extra pruning is strict, anchoring the CI
+		// -fracbound node-reduction gate (htdbench -compare -max-nodes 1.0).
+		{"rand16*", func() *hypergraph.Hypergraph { return gen.RandomHypergraph(16, 14, 4, 2) }, -1, -1, "substitute"},
 		{"b06*", func() *hypergraph.Hypergraph { return gen.Circuit(8, 42, 4, 106) }, 5, -1, "substitute"},
 	}
 	if !full {

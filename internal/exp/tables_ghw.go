@@ -7,6 +7,7 @@ import (
 	"hypertree/internal/astar"
 	"hypertree/internal/bb"
 	"hypertree/internal/cover"
+	"hypertree/internal/frac"
 	"hypertree/internal/ga"
 	"hypertree/internal/search"
 	"hypertree/internal/telemetry"
@@ -18,11 +19,12 @@ func Table7_1(cfg Config) *Table {
 	t := &Table{
 		ID:     "7.1",
 		Title:  "GA-ghw on CSP hypergraph benchmarks",
-		Header: []string{"Hypergraph", "V", "H", "known/paper", "min", "max", "avg"},
+		Header: []string{"Hypergraph", "V", "H", "known/paper", "min", "max", "avg", "fhw ub"},
 		Notes: []string{
 			"'known/paper' is the exactly known ghw of the construction, or the thesis's best upper bound",
 			"shape to reproduce: GA-ghw lands on or within one of the known optimum (the thesis's GA also missed the adder optimum by one)",
 			"the initial population is seeded with two min-fill orderings (§4.3) to offset the reduced evaluation budget",
+			"'fhw ub' is the fractional relaxation's upper bound (min-fill + local search, exact LPs): fhw ≤ ghw always",
 		},
 	}
 	for _, inst := range hypergraphSuite(cfg.Full) {
@@ -42,9 +44,15 @@ func Table7_1(cfg Config) *Table {
 		} else if inst.PaperUB >= 0 {
 			ref = itoa(inst.PaperUB)
 		}
+		fw, o := frac.MinFillUpperBound(h, cfg.Seed)
+		if h.NumVertices() > 1 {
+			if fw2, _ := frac.LocalSearch(h, o, 30, cfg.Seed+1); fw2 < fw {
+				fw = fw2
+			}
+		}
 		t.Rows = append(t.Rows, []string{
 			inst.Name, itoa(h.NumVertices()), itoa(h.NumEdges()),
-			ref, itoa(mn), itoa(mx), f1(avg),
+			ref, itoa(mn), itoa(mx), f1(avg), fmt.Sprintf("%.2f", fw),
 		})
 	}
 	return t

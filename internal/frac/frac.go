@@ -4,168 +4,82 @@
 // covered with total weight bounds. fhw(H) ≤ ghw(H) always, and queries are
 // answerable in O(‖I‖^{fhw+O(1)}) (Grohe–Marx / AGM).
 //
-// Covers are computed exactly with the simplex solver on the fractional
-// matching dual. The elimination-ordering search space carries over: the
-// chapter-3 argument of the thesis works for any cover measure that is
-// monotone under ⊆, and fractional covers are.
+// Covers are computed exactly with the sparse revised simplex on the
+// fractional matching dual, memoized in the shared cover.Oracle's frac
+// memo so racing portfolio workers and the search engines' fractional
+// lower bound reuse each other's LPs. The elimination-ordering search
+// space carries over: the chapter-3 argument of the thesis works for any
+// cover measure that is monotone under ⊆, and fractional covers are.
+//
+// The engine entry points (SearchCtx, LocalSearchCtx, WidthCtx in
+// anytime.go) follow the repo-wide anytime contract: deadline or
+// cancellation returns the best incumbent with Complete=false and a nil
+// error; an error is returned only when cancellation struck before the
+// first incumbent existed. LP failures never panic — the width evaluator
+// degrades the affected bag to its deterministic greedy integral cover
+// (an upper bound on ρ*), so a numerical wobble costs width quality, not
+// a portfolio worker.
 package frac
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"hypertree/internal/bitset"
+	"hypertree/internal/cover"
 	"hypertree/internal/elim"
+	"hypertree/internal/heur"
 	"hypertree/internal/hypergraph"
-	"hypertree/internal/lp"
 	"hypertree/internal/order"
 )
 
 // Cover returns ρ*(target), the minimum total weight of a fractional edge
 // cover of the target vertices, together with the optimal per-edge weights
-// (indexed by hyperedge). Vertices in no hyperedge are unconstrained and
-// ignored. The second return maps only edges with positive weight.
-func Cover(h *hypergraph.Hypergraph, target *bitset.Set) (float64, map[int]float64) {
-	// Collect the coverable target vertices and their candidate edges.
-	var verts []int
-	edgeSeen := map[int]bool{}
-	var edges []int
-	target.ForEach(func(v int) bool {
-		inc := h.IncidentEdges(v)
-		if len(inc) == 0 {
-			return true // unconstrained vertex
-		}
-		verts = append(verts, v)
-		for _, e := range inc {
-			if !edgeSeen[e] {
-				edgeSeen[e] = true
-				edges = append(edges, e)
-			}
-		}
-		return true
-	})
-	if len(verts) == 0 {
-		return 0, nil
-	}
-
-	// Dual LP (fractional matching): max Σ y_v s.t. Σ_{v∈e} y_v ≤ 1 per
-	// candidate edge. The duals of the edge constraints are the cover
-	// weights.
-	vIndex := make(map[int]int, len(verts))
-	for i, v := range verts {
-		vIndex[v] = i
-	}
-	A := make([][]float64, len(edges))
-	b := make([]float64, len(edges))
-	for i, e := range edges {
-		A[i] = make([]float64, len(verts))
-		h.EdgeSet(e).ForEach(func(v int) bool {
-			if j, ok := vIndex[v]; ok {
-				A[i][j] = 1
-			}
-			return true
-		})
-		b[i] = 1
-	}
-	c := make([]float64, len(verts))
-	for i := range c {
-		c[i] = 1
-	}
-	opt, _, dual, err := lp.Solve(A, b, c)
+// (indexed by hyperedge; only edges with positive weight appear). Vertices
+// in no hyperedge are unconstrained and ignored. The error is the wrapped
+// LP failure — the matching LP is always feasible and bounded, so a
+// non-nil error indicates numerical trouble, and callers that can degrade
+// should fall back to an integral cover (the width evaluator does).
+func Cover(h *hypergraph.Hypergraph, target *bitset.Set) (float64, map[int]float64, error) {
+	orc := cover.New(h, cover.Options{Disabled: true})
+	val, cov, err := orc.FracCover(target)
 	if err != nil {
-		// The matching LP is always feasible and bounded (y ≤ 1 per
-		// covered vertex); an error indicates a solver bug.
-		panic("frac: " + err.Error())
+		return 0, nil, err
 	}
-	weights := make(map[int]float64)
-	for i, e := range edges {
-		if dual[i] > 1e-9 {
-			weights[e] = dual[i]
-		}
+	if len(cov) == 0 {
+		return val, nil, nil
 	}
-	return opt, weights
+	weights := make(map[int]float64, len(cov))
+	for _, ew := range cov {
+		weights[ew.Edge] = ew.Weight
+	}
+	return val, weights, nil
 }
 
 // Width returns the fractional width of the elimination ordering: the
 // maximum ρ* over the χ-sets produced by eliminating σ. For at least one
 // ordering this equals fhw(H) (the ch. 3 argument applied to the monotone
-// measure ρ*).
+// measure ρ*). It panics on an invalid ordering (programmer error); use
+// WidthCtx for error returns and cancellation.
 func Width(h *hypergraph.Hypergraph, o order.Ordering) float64 {
 	if err := o.Validate(h.NumVertices()); err != nil {
 		panic(err)
 	}
-	g := elim.New(h.PrimalGraph())
-	width := 0.0
-	for _, v := range o {
-		chi := g.Clique(v)
-		if w, _ := Cover(h, chi); w > width {
-			width = w
-		}
-		g.Eliminate(v)
+	w, err := widthOn(context.Background(), elim.New(h.PrimalGraph()), nil, newEvaluator(h, nil), o, 0)
+	if err != nil {
+		panic(err) // unreachable: nil checker never stops, evaluator never errors
 	}
-	return width
+	return w
 }
 
 // MinFillUpperBound returns the fractional width of the min-fill ordering,
-// a fast fhw upper bound.
+// a fast fhw upper bound. The ordering comes from heur.MinFill — the one
+// min-fill implementation the whole repo shares.
 func MinFillUpperBound(h *hypergraph.Hypergraph, seed int64) (float64, order.Ordering) {
 	g := elim.New(h.PrimalGraph())
-	o, _ := minFill(g, rand.New(rand.NewSource(seed)))
-	return Width(h, o), o
-}
-
-// minFill mirrors heur.MinFill without importing it (avoids a dependency
-// for one ten-line loop).
-func minFill(g *elim.Graph, rng *rand.Rand) (order.Ordering, int) {
-	c := g.Clone()
-	ordering := make(order.Ordering, 0, c.Remaining())
-	width := 0
-	for c.Remaining() > 0 {
-		best, bestFill := -1, math.MaxInt
-		var ties []int
-		c.ForEachRemaining(func(v int) {
-			f := c.FillCount(v)
-			switch {
-			case f < bestFill:
-				best, bestFill = v, f
-				ties = ties[:0]
-				ties = append(ties, v)
-			case f == bestFill:
-				ties = append(ties, v)
-			}
-		})
-		if rng != nil {
-			best = ties[rng.Intn(len(ties))]
-		}
-		if d := c.Eliminate(best); d > width {
-			width = d
-		}
-		ordering = append(ordering, best)
-	}
-	return ordering, width
-}
-
-// LocalSearch improves an fhw upper bound by hill-climbing over orderings
-// with insertion moves (the ISM neighbourhood of the thesis's GA), keeping
-// strictly improving moves, for the given number of rounds.
-func LocalSearch(h *hypergraph.Hypergraph, start order.Ordering, rounds int, seed int64) (float64, order.Ordering) {
-	rng := rand.New(rand.NewSource(seed))
-	cur := start.Clone()
-	curW := Width(h, cur)
-	n := len(cur)
-	for r := 0; r < rounds; r++ {
-		cand := cur.Clone()
-		// Insertion move: remove a random element, reinsert elsewhere.
-		i := rng.Intn(n)
-		j := rng.Intn(n)
-		v := cand[i]
-		cand = append(cand[:i], cand[i+1:]...)
-		cand = append(cand[:j], append(order.Ordering{v}, cand[j:]...)...)
-		if w := Width(h, cand); w < curW-1e-12 {
-			cur, curW = cand, w
-		}
-	}
-	return curW, cur
+	o, _ := heur.MinFill(g, rand.New(rand.NewSource(seed)))
+	return Width(h, order.Ordering(o)), order.Ordering(o)
 }
 
 // ExactSmall computes fhw exactly by enumerating all elimination orderings

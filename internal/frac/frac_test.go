@@ -19,7 +19,10 @@ func TestCoverTriangle(t *testing.T) {
 	// (weight ½ on each edge), strictly below the integral 2.
 	h := gen.CliqueHypergraph(3)
 	all := bitset.FromSlice([]int{0, 1, 2})
-	w, weights := Cover(h, all)
+	w, weights, err := Cover(h, all)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !approx(w, 1.5) {
 		t.Fatalf("ρ*(K3) = %v, want 1.5", w)
 	}
@@ -49,7 +52,10 @@ func TestCoverKnownValues(t *testing.T) {
 		for v := 0; v < n; v++ {
 			all.Add(v)
 		}
-		w, _ := Cover(h, all)
+		w, _, err := Cover(h, all)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !approx(w, float64(n)/2) {
 			t.Fatalf("ρ*(K%d) = %v, want %v", n, w, float64(n)/2)
 		}
@@ -58,14 +64,17 @@ func TestCoverKnownValues(t *testing.T) {
 
 func TestCoverEmptyAndUnconstrained(t *testing.T) {
 	h := gen.CliqueHypergraph(3)
-	if w, _ := Cover(h, bitset.New(3)); w != 0 {
+	if w, _, _ := Cover(h, bitset.New(3)); w != 0 {
 		t.Fatalf("empty target cover = %v", w)
 	}
 	// Vertex 5 does not exist in any edge of a padded hypergraph.
 	h2 := gen.Chain(2, 3, 1)
 	target := bitset.New(h2.NumVertices())
 	target.Add(0)
-	w, _ := Cover(h2, target)
+	w, _, err := Cover(h2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !approx(w, 1) {
 		t.Fatalf("single-vertex cover = %v", w)
 	}
@@ -83,7 +92,10 @@ func TestFractionalAtMostIntegral(t *testing.T) {
 				target.Add(v)
 			}
 		}
-		fw, _ := Cover(h, target)
+		fw, _, err := Cover(h, target)
+		if err != nil {
+			t.Fatal(err)
+		}
 		iw := float64(s.ExactSize(target))
 		if fw > iw+1e-6 {
 			t.Fatalf("trial %d: fractional %v > integral %v", trial, fw, iw)
@@ -150,7 +162,9 @@ func TestLeafNormalFormTransfersToFractional(t *testing.T) {
 		d := order.VertexElimination(h, o)
 		orig := 0.0
 		for _, n := range d.Nodes() {
-			if w, _ := Cover(h, n.Chi); w > orig {
+			if w, _, err := Cover(h, n.Chi); err != nil {
+				t.Fatal(err)
+			} else if w > orig {
 				orig = w
 			}
 		}

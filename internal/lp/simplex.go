@@ -1,9 +1,8 @@
-// Package lp implements a dense tableau simplex solver for the small
-// linear programs that arise in fractional edge covers (fractional
-// hypertree width, the third width measure of the hypertree decomposition
-// survey).
+// Package lp implements simplex solvers for the small linear programs
+// that arise in fractional edge covers (fractional hypertree width, the
+// third width measure of the hypertree decomposition survey).
 //
-// The solver handles the canonical-form problem
+// Both solvers handle the canonical-form problem
 //
 //	maximise    c·y
 //	subject to  A y ≤ b,  y ≥ 0,  with b ≥ 0,
@@ -11,6 +10,12 @@
 // which is exactly the shape of the fractional-matching dual of a covering
 // LP: the all-slack basis is immediately feasible, so no phase-1 is
 // needed. Bland's rule guarantees termination.
+//
+// SolveSparse (sparse.go) is the production path — a revised simplex over
+// column-major sparse constraint storage with pooled scratch. The dense
+// tableau Solve below is retained as the reference implementation: it is
+// the oracle half of the FuzzLPSolve differential target and the seam the
+// cache-consistency tests pin the sparse solver against.
 package lp
 
 import (
@@ -71,7 +76,7 @@ func Solve(A [][]float64, b, c []float64) (opt float64, y []float64, dual []floa
 	maxIter := 50 * (m + n) * (m + n)
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
-			return 0, nil, nil, errors.New("lp: iteration limit exceeded")
+			return 0, nil, nil, ErrIterationLimit
 		}
 		// Entering variable: Bland's rule — smallest index with positive
 		// reduced cost.

@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparseSimpleLP(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, opt 12.
+	A := NewMatrix(2)
+	A.AddCol([]int{0, 1}, []float64{1, 1})
+	A.AddCol([]int{0, 1}, []float64{1, 3})
+	opt, y, _, err := SolveSparse(A, []float64{4, 6}, []float64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(opt, 12) {
+		t.Fatalf("opt = %v, want 12", opt)
+	}
+	if !approx(y[0], 4) || !approx(y[1], 0) {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSparseInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y ≤ 4, x + 2y ≤ 4 → x=y=4/3, opt 8/3.
+	A := FromDense([][]float64{{2, 1}, {1, 2}})
+	opt, y, _, err := SolveSparse(A, []float64{4, 4}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(opt, 8.0/3) {
+		t.Fatalf("opt = %v, want 8/3", opt)
+	}
+	if !approx(y[0], 4.0/3) || !approx(y[1], 4.0/3) {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSparseUnbounded(t *testing.T) {
+	// max x s.t. −x ≤ 1: unbounded.
+	A := FromDense([][]float64{{-1}})
+	if _, _, _, err := SolveSparse(A, []float64{1}, []float64{1}); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	// No constraints at all, positive objective: also unbounded.
+	free := NewMatrix(0)
+	free.AddCol(nil, nil)
+	if _, _, _, err := SolveSparse(free, nil, []float64{1}); err != ErrUnbounded {
+		t.Fatalf("constraint-free err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSparseBadInput(t *testing.T) {
+	A := FromDense([][]float64{{1}})
+	if _, _, _, err := SolveSparse(A, []float64{-1}, []float64{1}); err != ErrBadInput {
+		t.Fatalf("negative b accepted: %v", err)
+	}
+	if _, _, _, err := SolveSparse(A, []float64{1, 2}, []float64{1}); err != ErrBadInput {
+		t.Fatalf("dimension mismatch accepted: %v", err)
+	}
+	if _, _, _, err := SolveSparse(nil, nil, nil); err != ErrBadInput {
+		t.Fatalf("nil matrix accepted: %v", err)
+	}
+	bad := NewMatrix(1)
+	bad.AddCol([]int{3}, nil) // row 3 out of range
+	if _, _, _, err := SolveSparse(bad, []float64{1}, []float64{1}); err != ErrBadInput {
+		t.Fatalf("out-of-range row accepted: %v", err)
+	}
+}
+
+func TestSparseZeroObjectiveAndEmpty(t *testing.T) {
+	A := FromDense([][]float64{{1}})
+	opt, y, _, err := SolveSparse(A, []float64{5}, []float64{0})
+	if err != nil || !approx(opt, 0) || !approx(y[0], 0) {
+		t.Fatalf("zero objective: %v %v %v", opt, y, err)
+	}
+	// Degenerate shapes: no variables, no constraints.
+	if opt, _, _, err := SolveSparse(NewMatrix(0), nil, nil); err != nil || !approx(opt, 0) {
+		t.Fatalf("empty LP: %v %v", opt, err)
+	}
+}
+
+func TestMatrixReset(t *testing.T) {
+	A := NewMatrix(2)
+	A.AddCol([]int{0}, nil)
+	A.AddCol([]int{1}, nil)
+	A.Reset(1)
+	if A.Rows() != 1 || A.Cols() != 0 {
+		t.Fatalf("after Reset: rows=%d cols=%d", A.Rows(), A.Cols())
+	}
+	A.AddCol([]int{0}, nil)
+	opt, _, _, err := SolveSparse(A, []float64{1}, []float64{1})
+	if err != nil || !approx(opt, 1) {
+		t.Fatalf("reused matrix: %v %v", opt, err)
+	}
+}
+
+// randomMatchingLP builds one random fractional-matching dual: a 0/1
+// incidence matrix (rows = edges, cols = vertices), b = 1, and objective 1
+// on every covered vertex (uncovered vertices get 0 so the LP stays
+// bounded). Shared by the differential test below and FuzzLPSolve.
+func randomMatchingLP(rng *rand.Rand, nV, nE, maxSz int) (A [][]float64, b, c []float64) {
+	A = make([][]float64, nE)
+	hit := make([]bool, nV)
+	for e := range A {
+		A[e] = make([]float64, nV)
+		sz := 1 + rng.Intn(maxSz)
+		for k := 0; k < sz; k++ {
+			v := rng.Intn(nV)
+			A[e][v] = 1
+			hit[v] = true
+		}
+	}
+	c = make([]float64, nV)
+	for v := range c {
+		if hit[v] {
+			c[v] = 1
+		}
+	}
+	b = make([]float64, nE)
+	for i := range b {
+		b[i] = 1
+	}
+	return A, b, c
+}
+
+// Differential check: the sparse revised simplex and the dense tableau
+// reference must agree on the optimum of random matching LPs, and the
+// sparse solution must satisfy primal feasibility, dual feasibility, and
+// strong duality on its own.
+func TestSparseMatchesDenseOnMatchingLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		nV := 2 + rng.Intn(7)
+		nE := 1 + rng.Intn(7)
+		A, b, c := randomMatchingLP(rng, nV, nE, 3)
+		dOpt, _, _, dErr := Solve(A, b, c)
+		sOpt, sy, sDual, sErr := SolveSparse(FromDense(A), b, c)
+		if dErr != nil || sErr != nil {
+			t.Fatalf("trial %d: dense err %v sparse err %v", trial, dErr, sErr)
+		}
+		if !approx(dOpt, sOpt) {
+			t.Fatalf("trial %d: dense opt %v != sparse opt %v", trial, dOpt, sOpt)
+		}
+		checkMatchingSolution(t, trial, A, c, sOpt, sy, sDual)
+	}
+}
+
+// checkMatchingSolution asserts optimality certificates for a matching-LP
+// solution: primal feasibility, dual feasibility on covered vertices,
+// strong duality, and complementary slackness in both directions.
+func checkMatchingSolution(t *testing.T, trial int, A [][]float64, c []float64, opt float64, y, dual []float64) {
+	t.Helper()
+	for e := range A {
+		s := 0.0
+		for v := range y {
+			s += A[e][v] * y[v]
+		}
+		if s > 1+1e-6 {
+			t.Fatalf("trial %d: matching constraint %d violated: %v", trial, e, s)
+		}
+		// Complementary slackness: a positive dual implies a tight edge.
+		if dual[e] > 1e-6 && s < 1-1e-6 {
+			t.Fatalf("trial %d: dual %v on slack edge %d (load %v)", trial, dual[e], e, s)
+		}
+	}
+	ds := 0.0
+	for v := range y {
+		if y[v] < -1e-9 {
+			t.Fatalf("trial %d: negative y[%d] = %v", trial, v, y[v])
+		}
+		if c[v] == 0 {
+			continue
+		}
+		s := 0.0
+		for e := range A {
+			s += A[e][v] * dual[e]
+		}
+		if s < 1-1e-6 {
+			t.Fatalf("trial %d: dual infeasible at vertex %d: %v", trial, v, s)
+		}
+		// Complementary slackness: a positive primal implies a tight
+		// vertex constraint in the covering primal.
+		if y[v] > 1e-6 && s > 1+1e-6 {
+			t.Fatalf("trial %d: y[%d]=%v but cover load %v > 1", trial, v, y[v], s)
+		}
+	}
+	for _, d := range dual {
+		ds += d
+	}
+	if !approx(ds, opt) {
+		t.Fatalf("trial %d: duality gap: primal %v dual %v", trial, opt, ds)
+	}
+}

@@ -22,6 +22,7 @@ package search
 
 import (
 	"context"
+	"math"
 	"math/rand"
 
 	"hypertree/internal/bitset"
@@ -102,10 +103,58 @@ func GHWMode(h *hypergraph.Hypergraph, rng *rand.Rand) Mode {
 // depend on cache state or on who else shares the oracle; rng only feeds
 // the lower-bound heuristics.
 func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, orc *cover.Oracle) Mode {
+	return GHWModeFrac(ctx, h, rng, orc, false)
+}
+
+// GHWModeFrac is GHWModeCtx with an opt-in fractional strengthening of the
+// residual and root lower bounds. Every completion of the current prefix
+// starts by eliminating some remaining vertex v, whose χ-set in the
+// current graph is exactly {v} ∪ N(v) (no further fill has happened yet),
+// at an integral cover cost of at least ⌈ρ*({v} ∪ N(v))⌉ — so
+// min over remaining v of ⌈ρ*(χ_v)⌉ lower-bounds the width of every
+// completion and max(set-cover bound, that minimum) stays admissible while
+// strictly dominating the k-set-cover bound alone. The LPs run through the
+// shared oracle's frac memo, on exactly the bags StepCost interns, so the
+// cascade's marginal cost is mostly cache probes; the set-cover bound is
+// computed first and the scan aborts as soon as some vertex's ceiling
+// cannot improve on it. An LP failure silently falls back to the set-cover
+// bound (weaker, still admissible), preserving determinism: the fallback
+// depends only on the instance, never on cache state.
+func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, orc *cover.Oracle, fracBound bool) Mode {
 	if orc == nil {
 		orc = cover.New(h, cover.Options{})
 	}
 	scratch := bitset.New(h.NumVertices())
+	fracScratch := bitset.New(h.NumVertices())
+	// fracFloor raises base to the fractional completion bound, early-
+	// exiting once no remaining vertex can beat base.
+	fracFloor := func(g *elim.Graph, base int) int {
+		best := -1
+		done := false
+		g.ForEachRemaining(func(v int) {
+			if done {
+				return
+			}
+			fracScratch.CopyFrom(g.Neighbors(v))
+			fracScratch.Add(v)
+			val, err := orc.FracValue(fracScratch)
+			if err != nil {
+				best, done = -1, true // fall back to the set-cover bound
+				return
+			}
+			c := int(math.Ceil(val - 1e-9))
+			if best < 0 || c < best {
+				best = c
+				if best <= base {
+					done = true // the minimum cannot end up above base
+				}
+			}
+		})
+		if best > base {
+			return best
+		}
+		return base
+	}
 	return Mode{
 		StepCost: func(g *elim.Graph, v int) int {
 			scratch.CopyFrom(g.Neighbors(v))
@@ -117,7 +166,11 @@ func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, o
 				return 0
 			}
 			twlb := heur.MinorMinWidthCtx(ctx, g, rng)
-			return setcover.TwKscLowerBound(h, twlb)
+			lb := setcover.TwKscLowerBound(h, twlb)
+			if fracBound {
+				lb = fracFloor(g, lb)
+			}
+			return lb
 		},
 		FinishCost: func(g *elim.Graph) int {
 			scratch.Clear()
@@ -131,7 +184,11 @@ func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, o
 			if g.Remaining() == 0 {
 				return 0
 			}
-			return setcover.TwKscLowerBound(h, heur.LowerBoundCtx(ctx, g, rng))
+			lb := setcover.TwKscLowerBound(h, heur.LowerBoundCtx(ctx, g, rng))
+			if fracBound {
+				lb = fracFloor(g, lb)
+			}
+			return lb
 		},
 		// The simplicial branching restriction and the adjacent case of the
 		// PR2 swap argue over clique CARDINALITIES, which cover sizes do not
@@ -235,6 +292,13 @@ type Options struct {
 	DisableDominance bool
 	// Seed feeds randomised tie-breaking in bound heuristics.
 	Seed int64
+	// FracBound enables the fractional strengthening of the GHW lower
+	// bounds (see GHWModeFrac): residual and root bounds become
+	// max(k-set-cover bound, min over remaining v of ⌈ρ*({v} ∪ N(v))⌉).
+	// Opt-in because every bound improvement costs LP probes; the widths
+	// found are identical either way — only node counts change. Ignored by
+	// treewidth searches.
+	FracBound bool
 	// Cover, when non-nil, is the shared cover-oracle the GHW searches
 	// memoize their set-cover subproblems in. Portfolio runs hand every
 	// worker the same oracle; sharing (or evicting, or disabling) the
@@ -283,6 +347,11 @@ type Result struct {
 	LowerBound int
 	// Exact reports whether Width is proven optimal.
 	Exact bool
+	// FracWidth is the fractional width achieved by an fhw run (zero for
+	// the integral methods, whose objective is Width). An fhw Result also
+	// fills Width with the integral ghw of its Ordering, so fhw can race
+	// inside the portfolio's integral selection.
+	FracWidth float64
 	// Ordering is an elimination ordering achieving Width.
 	Ordering []int
 	// Nodes is the number of search-tree nodes expanded.

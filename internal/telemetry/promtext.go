@@ -65,6 +65,7 @@ var promGauges = []promCounter{
 var promHists = []promHist{
 	{"htd_cover_probe_seconds", "Cover-oracle probe latency (hit or miss).", func(s Snapshot) HistSnapshot { return s.CoverProbeNs }},
 	{"htd_cover_solve_seconds", "Exact set-cover solve latency (oracle misses).", func(s Snapshot) HistSnapshot { return s.CoverSolveNs }},
+	{"htd_cover_frac_seconds", "Fractional-cover LP solve latency (frac-memo misses).", func(s Snapshot) HistSnapshot { return s.CoverFracNs }},
 	{"htd_cq_level_wait_seconds", "Per-worker barrier wait at parallel-evaluator level boundaries.", func(s Snapshot) HistSnapshot { return s.CQLevelWaitNs }},
 	{"htd_cq_batch_seconds", "Join/semijoin task batch duration (cq + csp engines).", func(s Snapshot) HistSnapshot { return s.CQBatchNs }},
 	{"htd_cq_delta_apply_seconds", "Standing-query delta apply latency.", func(s Snapshot) HistSnapshot { return s.CQDeltaApplyNs }},

@@ -58,6 +58,7 @@ type Stats struct {
 	// Latency distributions (log₂-bucketed nanoseconds; see histogram.go).
 	coverProbeNs  Histogram // cover-oracle probe latency (hit or miss)
 	coverSolveNs  Histogram // exact set-cover solve latency (oracle misses)
+	coverFracNs   Histogram // fractional-cover LP solve latency (frac-memo misses)
 	cqLevelWaitNs Histogram // per-worker barrier wait at cq level boundaries
 	cqBatchNs     Histogram // join/semijoin task batch duration (cq + csp)
 	cqDeltaNs     Histogram // standing-query delta apply latency
@@ -242,6 +243,14 @@ func (s *Stats) ObserveCoverSolve(d time.Duration) {
 	}
 }
 
+// ObserveCoverFrac records one fractional-cover LP solve latency (a miss
+// of the oracle's frac memo). Safe on nil.
+func (s *Stats) ObserveCoverFrac(d time.Duration) {
+	if s != nil {
+		s.coverFracNs.ObserveDuration(d)
+	}
+}
+
 // ObserveLevelWait records the time one parallel-evaluator worker idled at
 // a level barrier waiting for the level's slowest worker. Safe on nil.
 func (s *Stats) ObserveLevelWait(d time.Duration) {
@@ -274,16 +283,18 @@ func (s *Stats) ObserveFirstIncumbent(d time.Duration) {
 	}
 }
 
-// AddCoverLatency folds the cover oracle's probe and exact-solve latency
-// distributions into s, the histogram analogue of AddCover: the oracle
-// owns live histograms while a run is shared by portfolio workers and the
-// facade folds them in once per run. Safe on a nil receiver.
-func (s *Stats) AddCoverLatency(probe, solve HistSnapshot) {
+// AddCoverLatency folds the cover oracle's probe, exact-solve, and
+// fractional-LP latency distributions into s, the histogram analogue of
+// AddCover: the oracle owns live histograms while a run is shared by
+// portfolio workers and the facade folds them in once per run. Safe on a
+// nil receiver.
+func (s *Stats) AddCoverLatency(probe, solve, frac HistSnapshot) {
 	if s == nil {
 		return
 	}
 	s.coverProbeNs.AddSnapshot(probe)
 	s.coverSolveNs.AddSnapshot(solve)
+	s.coverFracNs.AddSnapshot(frac)
 }
 
 // ObserveMem folds one runtime.MemStats sample into s: heapAlloc raises
@@ -343,6 +354,7 @@ type Snapshot struct {
 	// free.
 	CoverProbeNs     HistSnapshot `json:"cover_probe_ns"`
 	CoverSolveNs     HistSnapshot `json:"cover_solve_ns"`
+	CoverFracNs      HistSnapshot `json:"cover_frac_ns"`
 	CQLevelWaitNs    HistSnapshot `json:"cq_level_wait_ns"`
 	CQBatchNs        HistSnapshot `json:"cq_batch_ns"`
 	CQDeltaApplyNs   HistSnapshot `json:"cq_delta_apply_ns"`
@@ -384,6 +396,7 @@ func (s *Stats) Snapshot() Snapshot {
 
 		CoverProbeNs:     s.coverProbeNs.Snapshot(),
 		CoverSolveNs:     s.coverSolveNs.Snapshot(),
+		CoverFracNs:      s.coverFracNs.Snapshot(),
 		CQLevelWaitNs:    s.cqLevelWaitNs.Snapshot(),
 		CQBatchNs:        s.cqBatchNs.Snapshot(),
 		CQDeltaApplyNs:   s.cqDeltaNs.Snapshot(),
@@ -424,6 +437,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 
 		CoverProbeNs:     a.CoverProbeNs.Add(b.CoverProbeNs),
 		CoverSolveNs:     a.CoverSolveNs.Add(b.CoverSolveNs),
+		CoverFracNs:      a.CoverFracNs.Add(b.CoverFracNs),
 		CQLevelWaitNs:    a.CQLevelWaitNs.Add(b.CQLevelWaitNs),
 		CQBatchNs:        a.CQBatchNs.Add(b.CQBatchNs),
 		CQDeltaApplyNs:   a.CQDeltaApplyNs.Add(b.CQDeltaApplyNs),
@@ -477,6 +491,7 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.memSamples.Add(b.MemSamples)
 	s.coverProbeNs.AddSnapshot(b.CoverProbeNs)
 	s.coverSolveNs.AddSnapshot(b.CoverSolveNs)
+	s.coverFracNs.AddSnapshot(b.CoverFracNs)
 	s.cqLevelWaitNs.AddSnapshot(b.CQLevelWaitNs)
 	s.cqBatchNs.AddSnapshot(b.CQBatchNs)
 	s.cqDeltaNs.AddSnapshot(b.CQDeltaApplyNs)
@@ -537,14 +552,18 @@ type Phase struct {
 // summary, wall time and counters. Err is non-empty when the worker
 // produced no result (e.g. cancelled before its first incumbent).
 type Outcome struct {
-	Slot       int           `json:"slot"`
-	Method     string        `json:"method"`
-	Width      int           `json:"width"`
-	LowerBound int           `json:"lower_bound"`
-	Exact      bool          `json:"exact"`
-	Elapsed    time.Duration `json:"elapsed"`
-	Err        string        `json:"error,omitempty"`
-	Stats      Snapshot      `json:"stats"`
+	Slot       int    `json:"slot"`
+	Method     string `json:"method"`
+	Width      int    `json:"width"`
+	LowerBound int    `json:"lower_bound"`
+	Exact      bool   `json:"exact"`
+	// FracWidth is the fractional width an fhw worker achieved (zero for
+	// every integral method — fhw scores the integral race via Width and
+	// carries its real objective here).
+	FracWidth float64       `json:"frac_width,omitempty"`
+	Elapsed   time.Duration `json:"elapsed"`
+	Err       string        `json:"error,omitempty"`
+	Stats     Snapshot      `json:"stats"`
 }
 
 // Observer bundles the progress hooks of a run. Any field may be nil; a

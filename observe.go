@@ -187,6 +187,7 @@ func (sc *scope) searchOptions(opt Options) search.Options {
 	return search.Options{
 		MaxNodes:    opt.MaxNodes,
 		Seed:        opt.Seed,
+		FracBound:   opt.FracBound,
 		Stats:       sc.engineStats(),
 		OnIncumbent: sc.incumbentHook(),
 		Trace:       sc.traceRef(),

@@ -77,7 +77,7 @@ func TestPortfolioAttribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	methods := DefaultPortfolio()
+	methods := DefaultGHWPortfolio()
 	names := make(map[string]bool, len(methods))
 	for _, m := range methods {
 		names[m.String()] = true

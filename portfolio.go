@@ -19,20 +19,33 @@ func DefaultPortfolio() []Method {
 	return []Method{MethodMinFill, MethodBB, MethodAStar, MethodGA}
 }
 
+// DefaultGHWPortfolio is the default method set for GHW (and Decompose)
+// portfolio runs: DefaultPortfolio plus the fractional-width local search,
+// which scores its ordering with exact integral covers so it competes on
+// equal terms while populating the shared frac memo.
+func DefaultGHWPortfolio() []Method {
+	return append(DefaultPortfolio(), MethodFHW)
+}
+
 // portfolioSeedStride separates the derived seeds of portfolio workers.
 // Worker 0 keeps Options.Seed unchanged, so a single-method portfolio
 // reproduces the plain run of that method bit for bit.
 const portfolioSeedStride = 7919
 
-// portfolioMethods resolves and validates the raced method set.
-func (o Options) portfolioMethods() ([]Method, error) {
+// portfolioMethods resolves and validates the raced method set against the
+// problem's default set; fhwOK rejects MethodFHW where it has no meaning
+// (treewidth).
+func (o Options) portfolioMethods(def []Method, fhwOK bool) ([]Method, error) {
 	ms := o.Portfolio
 	if len(ms) == 0 {
-		ms = DefaultPortfolio()
+		ms = def
 	}
 	for _, m := range ms {
 		if m == MethodPortfolio {
 			return nil, fmt.Errorf("htd: portfolio cannot contain itself")
+		}
+		if m == MethodFHW && !fhwOK {
+			return nil, fmt.Errorf("htd: fhw is not a treewidth method")
 		}
 		if _, err := ParseMethod(m.String()); err != nil {
 			return nil, fmt.Errorf("htd: invalid portfolio entry %v", m)
@@ -48,6 +61,9 @@ func (o Options) workerOptions(i int, m Method) Options {
 	w := o
 	w.Method = m
 	w.Seed = o.Seed + int64(i)*portfolioSeedStride
+	// Jobs caps the portfolio pool, not a worker's internal parallelism: an
+	// fhw worker runs a single local-search stream inside its slot.
+	w.Jobs = 1
 	return w
 }
 
@@ -142,6 +158,7 @@ func runPortfolio(ctx context.Context, methods []Method, jobs int, sc *scope, ru
 			attr.Width = out.res.Width
 			attr.LowerBound = out.res.LowerBound
 			attr.Exact = out.res.Exact
+			attr.FracWidth = out.res.FracWidth
 		}
 		out.attr = attr
 		sc.outcome(attr)
@@ -233,7 +250,7 @@ func betterOutcome(a, b *portfolioOutcome) bool {
 // only memoizes deterministically computed covers, sharing it never makes
 // any worker's result depend on scheduling.
 func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options, orc *cover.Oracle) (Ordering, Result, error) {
-	methods, err := opt.portfolioMethods()
+	methods, err := opt.portfolioMethods(DefaultGHWPortfolio(), true)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -247,7 +264,7 @@ func portfolioGHW(ctx context.Context, h *Hypergraph, opt Options, orc *cover.Or
 
 // portfolioTreewidth races the configured methods for the treewidth of g.
 func portfolioTreewidth(ctx context.Context, g *Graph, opt Options) (Result, error) {
-	methods, err := opt.portfolioMethods()
+	methods, err := opt.portfolioMethods(DefaultPortfolio(), false)
 	if err != nil {
 		return Result{}, err
 	}
