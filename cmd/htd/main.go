@@ -69,6 +69,8 @@ func main() {
 		err = cmdSolve(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "help", "-h", "--help":
@@ -98,6 +100,8 @@ commands:
   solve      solve a CSP instance (JSON) via decomposition (-count for #CSP)
   query      answer a conjunctive query (-q "ans(X):-r(X,Y)" or -f file) over TSV
              relations, with -method/-jobs/-timeout and -boolean (satisfiability only)
+  explain    run a decomposition with full cost attribution and print a diagnosis
+             report (phase clocks, prune-rule efficiency, bound quality; -json)
   report     render a post-mortem bundle (from -postmortem) as a readable summary
 
 observability (decompose, tw, hw, fhw, query):

@@ -185,6 +185,12 @@ func (s *obsSession) finish(cmd, instance, method string, width float64, res htd
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
+	// Fold the event ring's drop counter into the run counters before any
+	// snapshot is taken, so the ledger, expvar, and /metrics all report how
+	// much of the timeline was lost to ring wrap-around.
+	if s.trace != nil {
+		s.stats.AddTraceDropped(s.trace.Dropped())
+	}
 	s.settleFlight(runErr)
 	if s.flags.tracePath != "" {
 		f, err := os.Create(s.flags.tracePath)

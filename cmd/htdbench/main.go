@@ -60,6 +60,8 @@ func main() {
 	minHeapMB := flag.Int64("min-heap-mb", 64, "-compare: clamp heap baselines up to this floor (MiB) before the factor applies")
 	maxP99 := flag.Float64("max-p99", 5.0, "-compare: fail when the oracle-probe or level-wait p99 exceeds this factor of the baseline (0 = off; skipped when the baseline has no observations)")
 	minP99Ms := flag.Float64("min-p99-ms", 2, "-compare: clamp p99 baselines up to this floor (ms) before the factor applies")
+	maxLPShare := flag.Float64("max-lp-share", 3.0, "-compare: fail when the LP phase clock's share of wall exceeds this factor of the baseline (0 = off; skipped when the baseline has no LP share)")
+	minLPShare := flag.Float64("min-lp-share", 0.05, "-compare: clamp LP-share baselines up to this floor (fraction of wall) before the factor applies")
 	flag.Parse()
 
 	if *compare {
@@ -75,6 +77,9 @@ func main() {
 			MinHeapBytes:   *minHeapMB << 20,
 			MaxP99Factor:   *maxP99,
 			MinP99Ms:       *minP99Ms,
+
+			MaxLPShareFactor: *maxLPShare,
+			MinLPShare:       *minLPShare,
 		}
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), th))
 	}

@@ -57,6 +57,7 @@ import (
 	"hypertree/internal/order"
 	"hypertree/internal/search"
 	"hypertree/internal/setcover"
+	"hypertree/internal/telemetry"
 )
 
 // Core data types, re-exported from the internal packages.
@@ -297,18 +298,32 @@ func Decompose(h *Hypergraph, opt Options) (*Decomposition, error) {
 // before any incumbent exists does DecomposeCtx return the context error.
 // See the "Timeouts and the portfolio method" section of the README.
 func DecomposeCtx(ctx context.Context, h *Hypergraph, opt Options) (*Decomposition, error) {
-	o, _, orc, err := ghwOrderingOracle(ctx, h, opt)
+	d, _, err := ExplainCtx(ctx, h, opt)
+	return d, err
+}
+
+// ExplainCtx is DecomposeCtx returning the search Result alongside the
+// decomposition: the Result carries exactness, the strongest lower bound
+// proven, and the portfolio winner, which the decomposition alone does
+// not. It exists for diagnosis reporting (`htd explain`) but is a stable
+// API like any other entry point.
+func ExplainCtx(ctx context.Context, h *Hypergraph, opt Options) (*Decomposition, Result, error) {
+	o, res, orc, err := ghwOrderingOracle(ctx, h, opt)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 	// Materialize λ through the same oracle the search used: the exact
 	// covers of the final ordering's χ-sets are usually already memoized.
+	// The window is λ-materialization phase time; cover probes fired inside
+	// self-attribute and are subtracted by AttributeSince.
+	mark := opt.Stats.MarkPhase()
 	d := order.GHDWith(h, o, rand.New(rand.NewSource(opt.Seed)), true, orc)
+	opt.Stats.AttributeSince(telemetry.PhaseLambda, mark)
 	foldCover(opt.Stats, orc)
 	if err := d.ValidateGHD(); err != nil {
-		return nil, fmt.Errorf("htd: internal error: produced invalid decomposition: %w", err)
+		return nil, res, fmt.Errorf("htd: internal error: produced invalid decomposition: %w", err)
 	}
-	return d, nil
+	return d, res, nil
 }
 
 // GHW computes (bounds on) the generalized hypertree width of h.
@@ -591,6 +606,14 @@ func HypertreeWidth(h *Hypergraph, maxK int) (int, *Decomposition) {
 // recursion instants into tr (nil tr behaves exactly like HypertreeWidth).
 func HypertreeWidthTraced(h *Hypergraph, maxK int, tr *Trace) (int, *Decomposition) {
 	return detk.Width(h, maxK, detk.Options{Trace: tr})
+}
+
+// HypertreeWidthStats is HypertreeWidth with telemetry: det-k-decomp's
+// guess counters and phase attribution land in st (nil st behaves exactly
+// like HypertreeWidth) and tr receives the structured trace as in
+// HypertreeWidthTraced. Attaching either never changes the decomposition.
+func HypertreeWidthStats(h *Hypergraph, maxK int, st *Stats, tr *Trace) (int, *Decomposition) {
+	return detk.Width(h, maxK, detk.Options{Trace: tr, Stats: st})
 }
 
 // HypertreeDecompose returns a hypertree decomposition of width ≤ k, or

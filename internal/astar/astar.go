@@ -20,6 +20,7 @@ import (
 	"container/heap"
 	"context"
 	"math/rand"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/elim"
@@ -55,7 +56,7 @@ func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
 // cancellation contract.
 func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeFrac(ctx, h, rng, opt.Cover, opt.FracBound), opt)
+	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeStats(ctx, h, rng, opt.Cover, opt.FracBound, opt.Stats), opt)
 }
 
 // state is a node of the search tree (§5.2.2): the partial ordering is
@@ -113,6 +114,9 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 	chk := interrupt.New(ctx, 4)
 
 	rng := rand.New(rand.NewSource(opt.Seed))
+	// Heuristic-seed phase: min-fill, its evaluation, and the root bound,
+	// minus whatever the oracle self-attributes inside the window.
+	seedMark := opt.Stats.MarkPhase()
 	ubOrder, _, err := heur.MinFillCtxStats(ctx, g, rng, opt.Stats)
 	if err != nil {
 		return search.Result{}
@@ -120,9 +124,16 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 	ub := search.OrderCost(g, mode, ubOrder)
 	opt.Incumbent(ub)
 	lb := mode.RootLB(g)
+	opt.Stats.AttributeSince(telemetry.PhaseHeurSeed, seedMark)
 	if lb >= ub {
 		return search.Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ubOrder}
 	}
+
+	// Everything from here to any return is the branch-expansion phase;
+	// oracle probes/solves and LPs inside it self-attribute, the deferred
+	// close keeps only the A* driver's own share (valid on every exit path).
+	branchMark := opt.Stats.MarkPhase()
+	defer opt.Stats.AttributeSince(telemetry.PhaseBranch, branchMark)
 
 	root := &state{parent: nil, vertex: -1, depth: 0, g: 0, f: lb}
 	root.children, root.reduced = rootChildren(g, mode, opt, lb)
@@ -181,7 +192,10 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 		cur = morph(g, cur, s)
 
 		// Goal test: the residual can be finished at no cost beyond s.g.
-		if finish := mode.FinishCost(g); finish <= s.g {
+		rt := ruleStart(opt.Stats)
+		finish := mode.FinishCost(g)
+		opt.Stats.RuleSince(telemetry.RuleCoverBound, rt)
+		if finish <= s.g {
 			ordering := prefixOf(s)
 			g.ForEachRemaining(func(v int) { ordering = append(ordering, v) })
 			g.RestoreTo(0)
@@ -201,7 +215,9 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			}
 			var childPR2 *bitset.Set
 			if !opt.DisablePR2 && !s.reduced {
+				rt := ruleStart(opt.Stats)
 				childPR2 = search.PR2Pruned(g, v, mode.Swappable)
+				opt.Stats.RuleSince(telemetry.RulePR2, rt)
 			}
 			step := mode.StepCost(g, v)
 			cg := max(s.g, step)
@@ -212,18 +228,25 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 			g.Eliminate(v)
 
 			if dom != nil {
+				rt := ruleStart(opt.Stats)
 				key := elimKey(g)
-				if prev, ok := dom[key]; ok && prev <= cg {
+				prev, ok := dom[key]
+				if !ok || prev > cg {
+					if len(dom) < maxDominanceEntries {
+						dom[key] = cg
+					}
+				}
+				opt.Stats.RuleSince(telemetry.RuleDominance, rt)
+				if ok && prev <= cg {
 					opt.Stats.Dominance()
 					g.Restore()
 					continue
 				}
-				if len(dom) < maxDominanceEntries {
-					dom[key] = cg
-				}
 			}
 
+			rt := ruleStart(opt.Stats)
 			h := mode.ResidualLB(g)
+			opt.Stats.RuleSince(telemetry.RuleLBCutoff, rt)
 			cf := max(cg, h, s.f)
 			if cf >= ub {
 				opt.Stats.LBCutoff()
@@ -254,6 +277,15 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, opt search.Option
 }
 
 const maxDominanceEntries = 1 << 21
+
+// ruleStart opens a rule-time window: the zero time when telemetry is off
+// (RuleSince then no-ops), time.Now when a Stats is attached.
+func ruleStart(st *telemetry.Stats) time.Time {
+	if st == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
 
 // morph transforms the elimination graph from the prefix of state a to the
 // prefix of state b by restoring to their deepest common ancestor and
@@ -317,7 +349,10 @@ func rootChildren(g *elim.Graph, mode search.Mode, opt search.Options, lb int) (
 // pruned set.
 func successors(g *elim.Graph, mode search.Mode, opt search.Options, f int, pr2 *bitset.Set) ([]int, bool) {
 	if !opt.DisableReduction && mode.Reduction {
-		if v, ok := reduce.Find(g, f); ok {
+		rt := ruleStart(opt.Stats)
+		v, ok := reduce.Find(g, f)
+		opt.Stats.RuleSince(telemetry.RuleSimplicial, rt)
+		if ok {
 			opt.Stats.Simplicial()
 			return []int{v}, true
 		}

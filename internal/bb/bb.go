@@ -18,6 +18,7 @@ package bb
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/elim"
@@ -53,7 +54,7 @@ func GHW(h *hypergraph.Hypergraph, opt search.Options) search.Result {
 // cancellation contract.
 func GHWCtx(ctx context.Context, h *hypergraph.Hypergraph, opt search.Options) search.Result {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeFrac(ctx, h, rng, opt.Cover, opt.FracBound), rng, opt)
+	return run(ctx, elim.New(h.PrimalGraph()), search.GHWModeStats(ctx, h, rng, opt.Cover, opt.FracBound, opt.Stats), rng, opt)
 }
 
 type bbState struct {
@@ -93,7 +94,10 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, rng *rand.Rand, o
 
 	// Initial bounds: min-fill upper bound, combined lower bound. If the
 	// deadline strikes before even the initial heuristic completes there is
-	// no incumbent to report (Ordering nil).
+	// no incumbent to report (Ordering nil). The whole seeding window —
+	// min-fill, its evaluation, the root bound — attributes to the
+	// heuristic-seed phase, minus whatever the oracle claims for itself.
+	seedMark := opt.Stats.MarkPhase()
 	initOrder, _, err := heur.MinFillCtxStats(ctx, g, rng, opt.Stats)
 	if err != nil {
 		return search.Result{}
@@ -102,6 +106,7 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, rng *rand.Rand, o
 	s.best = append([]int(nil), initOrder...)
 	s.opt.Incumbent(s.ub)
 	lb := mode.RootLB(g)
+	opt.Stats.AttributeSince(telemetry.PhaseHeurSeed, seedMark)
 	s.rootF = lb
 	s.elimSet = bitset.New(g.NumVertices())
 
@@ -110,7 +115,11 @@ func run(ctx context.Context, g *elim.Graph, mode search.Mode, rng *rand.Rand, o
 	}
 
 	s.prefix = make([]int, 0, n)
+	// The depth-first loop is the branch-expansion phase; oracle and LP
+	// time inside it self-attributes, leaving the driver's own share here.
+	branchMark := opt.Stats.MarkPhase()
 	s.dfs(0, lb, nil)
+	opt.Stats.AttributeSince(telemetry.PhaseBranch, branchMark)
 
 	res := search.Result{Width: s.ub, Ordering: s.best, Nodes: s.nodes}
 	if s.stopped {
@@ -162,7 +171,9 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 	}
 
 	// Pruning Rule 1: finishing now costs max(gc, finish).
+	rt := s.ruleStart()
 	finish := s.mode.FinishCost(s.g)
+	s.opt.Stats.RuleSince(telemetry.RuleCoverBound, rt)
 	if w := max(gc, finish); w < s.ub {
 		s.ub = w
 		s.best = append(s.best[:0], s.prefix...)
@@ -180,11 +191,13 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 	var candidates []int
 	reduced := false
 	if !s.opt.DisableReduction && s.mode.Reduction {
+		rt := s.ruleStart()
 		if v, ok := reduce.Find(s.g, f); ok {
 			candidates = []int{v}
 			reduced = true
 			s.opt.Stats.Simplicial()
 		}
+		s.opt.Stats.RuleSince(telemetry.RuleSimplicial, rt)
 	}
 	if candidates == nil {
 		s.g.ForEachRemaining(func(v int) {
@@ -211,7 +224,9 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		// after (residual lower bound).
 		var childPR2 *bitset.Set
 		if !s.opt.DisablePR2 && !reduced {
+			rt := s.ruleStart()
 			childPR2 = search.PR2Pruned(s.g, v, s.mode.Swappable)
+			s.opt.Stats.RuleSince(telemetry.RulePR2, rt)
 		}
 		step := s.mode.StepCost(s.g, v)
 		cg := max(gc, step)
@@ -223,7 +238,10 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		s.prefix = append(s.prefix, v)
 		s.elimSet.Add(v)
 
-		if s.domPruned(cg) {
+		rt = s.ruleStart()
+		domHit := s.domPruned(cg)
+		s.opt.Stats.RuleSince(telemetry.RuleDominance, rt)
+		if domHit {
 			s.opt.Stats.Dominance()
 			s.elimSet.Remove(v)
 			s.prefix = s.prefix[:len(s.prefix)-1]
@@ -231,7 +249,9 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 			continue
 		}
 
+		rt = s.ruleStart()
 		h := s.mode.ResidualLB(s.g)
+		s.opt.Stats.RuleSince(telemetry.RuleLBCutoff, rt)
 		cf := max(cg, h, f)
 		if cf < s.ub {
 			s.dfs(cg, cf, childPR2)
@@ -243,6 +263,15 @@ func (s *bbState) dfs(gc, f int, pr2 *bitset.Set) {
 		s.prefix = s.prefix[:len(s.prefix)-1]
 		s.g.Restore()
 	}
+}
+
+// ruleStart opens a rule-time window: the zero time when telemetry is off
+// (RuleSince then no-ops), time.Now when a Stats is attached.
+func (s *bbState) ruleStart() time.Time {
+	if s.opt.Stats == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // domPruned consults and updates the eliminated-set dominance cache. The

@@ -29,16 +29,16 @@ type CurvePoint struct {
 
 // Record is one (instance, method) benchmark row.
 type Record struct {
-	Instance   string  `json:"instance"`
-	Family     string  `json:"family"` // catalog family: "exact" | "substitute"
-	Kind       string  `json:"kind"`   // "tw" | "ghw"
-	Vertices   int     `json:"vertices"`
-	Edges      int     `json:"edges"`
-	Method     string  `json:"method"`
-	Seed       int64   `json:"seed"`
-	Width      int     `json:"width"`
-	LowerBound int     `json:"lower_bound"`
-	Exact      bool    `json:"exact"`
+	Instance   string `json:"instance"`
+	Family     string `json:"family"` // catalog family: "exact" | "substitute"
+	Kind       string `json:"kind"`   // "tw" | "ghw"
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Method     string `json:"method"`
+	Seed       int64  `json:"seed"`
+	Width      int    `json:"width"`
+	LowerBound int    `json:"lower_bound"`
+	Exact      bool   `json:"exact"`
 	// FracWidth is the fractional width attached to the record: the fhw
 	// objective on Kind "fhw" rows, and the winning fhw worker's objective
 	// on ghw rows whose portfolio the fhw method won (zero elsewhere). The
@@ -70,14 +70,26 @@ type Record struct {
 	// touch the oracle or the parallel engine, and baselines predating the
 	// histograms); the compare gate skips p99 checks for such baselines. The
 	// full bucket vectors ride along inside Counters.
-	OracleProbeP50Ms float64      `json:"oracle_probe_p50_ms,omitempty"`
-	OracleProbeP95Ms float64      `json:"oracle_probe_p95_ms,omitempty"`
-	OracleProbeP99Ms float64      `json:"oracle_probe_p99_ms,omitempty"`
-	LevelWaitP50Ms   float64      `json:"level_wait_p50_ms,omitempty"`
-	LevelWaitP95Ms   float64      `json:"level_wait_p95_ms,omitempty"`
-	LevelWaitP99Ms   float64      `json:"level_wait_p99_ms,omitempty"`
-	Anytime          []CurvePoint `json:"anytime"`
-	Error            string       `json:"error,omitempty"`
+	OracleProbeP50Ms float64 `json:"oracle_probe_p50_ms,omitempty"`
+	OracleProbeP95Ms float64 `json:"oracle_probe_p95_ms,omitempty"`
+	OracleProbeP99Ms float64 `json:"oracle_probe_p99_ms,omitempty"`
+	LevelWaitP50Ms   float64 `json:"level_wait_p50_ms,omitempty"`
+	LevelWaitP95Ms   float64 `json:"level_wait_p95_ms,omitempty"`
+	LevelWaitP99Ms   float64 `json:"level_wait_p99_ms,omitempty"`
+	// Phase-share and bound-quality distillates (zero in baselines from
+	// before the cost-attribution layer; the compare gate skips them then).
+	// PhaseCoverage is Σ exclusive phase time / wall; LPShare is the LP
+	// clock's fraction of wall — the field the -max-lp-share gate watches.
+	PhaseCoverage float64 `json:"phase_coverage,omitempty"`
+	LPShare       float64 `json:"lp_share,omitempty"`
+	// FracLPEvals / FracBoundWins / the margin quantiles summarize the
+	// -fracbound cascade's effectiveness (width units; zero without it).
+	FracLPEvals        int64        `json:"frac_lp_evals,omitempty"`
+	FracBoundWins      int64        `json:"frac_bound_wins,omitempty"`
+	FracBoundMarginP50 float64      `json:"frac_bound_margin_p50,omitempty"`
+	FracBoundMarginP95 float64      `json:"frac_bound_margin_p95,omitempty"`
+	Anytime            []CurvePoint `json:"anytime"`
+	Error              string       `json:"error,omitempty"`
 }
 
 // Report is the top-level document of a BENCH_*.json file.
@@ -243,6 +255,16 @@ func fill(rec *Record, res htd.Result, err error, wall time.Duration, st *htd.St
 		rec.LevelWaitP50Ms = hs.P50() / 1e6
 		rec.LevelWaitP95Ms = hs.P95() / 1e6
 		rec.LevelWaitP99Ms = hs.P99() / 1e6
+	}
+	if wallNs := wall.Nanoseconds(); wallNs > 0 {
+		rec.PhaseCoverage = float64(rec.Counters.Phases.Total()) / float64(wallNs)
+		rec.LPShare = float64(rec.Counters.Phases.LPNs) / float64(wallNs)
+	}
+	rec.FracLPEvals = rec.Counters.FracLPEvals
+	rec.FracBoundWins = rec.Counters.FracBoundWins
+	if hs := rec.Counters.FracBoundMargin; hs.Count > 0 {
+		rec.FracBoundMarginP50 = hs.P50()
+		rec.FracBoundMarginP95 = hs.P95()
 	}
 	for _, inc := range st.Trace() {
 		rec.Anytime = append(rec.Anytime, CurvePoint{

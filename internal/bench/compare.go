@@ -54,6 +54,17 @@ type Thresholds struct {
 	// MinP99Ms clamps tiny p99 baselines before the factor applies:
 	// microsecond-scale tails are all scheduler noise.
 	MinP99Ms float64
+	// MaxLPShareFactor gates the LP phase clock's share of wall time:
+	// violation when the current lp_share exceeds factor × max(baseline,
+	// MinLPShare). It catches an LP cost blowup that the wall gate would
+	// miss (e.g. the cascade firing far more often while the search gets
+	// correspondingly less done inside the same budget). 0 disables the
+	// gate; it is also skipped when the baseline record carries no LP share
+	// (runs without -fracbound, and reports predating the phase clocks).
+	MaxLPShareFactor float64
+	// MinLPShare clamps tiny LP-share baselines before the factor applies
+	// (a 0.1% → 0.5% move is noise, not a blowup).
+	MinLPShare float64
 }
 
 // DefaultThresholds returns the CI gate defaults: 2× wall over a 250ms
@@ -62,12 +73,14 @@ type Thresholds struct {
 // factor), nodes ungated.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
-		MaxWallFactor: 2.0,
-		MaxHeapFactor: 1.5,
-		MinWallMs:     250,
-		MinHeapBytes:  64 << 20,
-		MaxP99Factor:  5.0,
-		MinP99Ms:      2,
+		MaxWallFactor:    2.0,
+		MaxHeapFactor:    1.5,
+		MinWallMs:        250,
+		MinHeapBytes:     64 << 20,
+		MaxP99Factor:     5.0,
+		MinP99Ms:         2,
+		MaxLPShareFactor: 3.0,
+		MinLPShare:       0.05,
 	}
 }
 
@@ -233,6 +246,17 @@ func compareRecord(b, c Record, th Thresholds) Diff {
 		}
 		gateP99("oracle probe", b.OracleProbeP99Ms, c.OracleProbeP99Ms)
 		gateP99("level wait", b.LevelWaitP99Ms, c.LevelWaitP99Ms)
+	}
+	if th.MaxLPShareFactor > 0 && b.LPShare > 0 && c.LPShare > 0 {
+		floor := b.LPShare
+		if floor < th.MinLPShare {
+			floor = th.MinLPShare
+		}
+		if c.LPShare > th.MaxLPShareFactor*floor {
+			d.Violations = append(d.Violations,
+				fmt.Sprintf("lp share %.1f%% > %.1fx baseline %.1f%% (floor %.1f%%)",
+					c.LPShare*100, th.MaxLPShareFactor, b.LPShare*100, floor*100))
+		}
 	}
 	if th.MaxNodesFactor > 0 && b.Nodes > 0 {
 		if float64(c.Nodes) > th.MaxNodesFactor*float64(b.Nodes) {

@@ -182,37 +182,62 @@ func (o *Oracle) LatencySnapshots() (probe, solve, frac telemetry.HistSnapshot) 
 // GreedySize returns the size of the deterministic greedy cover of target
 // (lowest-index tie-breaking, Fig. 7.2), memoized.
 func (o *Oracle) GreedySize(target *bitset.Set) int {
-	return o.query(target, false, nil)
+	return o.query(target, false, nil, nil)
+}
+
+// GreedySizeStats is GreedySize with per-worker phase attribution: probe
+// time lands in st's cover-probe clock and miss solves in its cover-solve
+// clock (st may be nil). The answer is identical to GreedySize — the
+// clocks never feed back into the query.
+func (o *Oracle) GreedySizeStats(target *bitset.Set, st *telemetry.Stats) int {
+	return o.query(target, false, nil, st)
 }
 
 // Greedy returns the deterministic greedy cover of target as a fresh
 // slice, memoized.
 func (o *Oracle) Greedy(target *bitset.Set) []int {
 	var out []int
-	o.query(target, false, &out)
+	o.query(target, false, &out, nil)
 	return out
 }
 
 // ExactSize returns the minimum cover cardinality of target, memoized.
 func (o *Oracle) ExactSize(target *bitset.Set) int {
-	return o.query(target, true, nil)
+	return o.query(target, true, nil, nil)
+}
+
+// ExactSizeStats is ExactSize with per-worker phase attribution (see
+// GreedySizeStats; st may be nil).
+func (o *Oracle) ExactSizeStats(target *bitset.Set, st *telemetry.Stats) int {
+	return o.query(target, true, nil, st)
 }
 
 // Exact returns a minimum-cardinality cover of target as a fresh slice,
 // memoized.
 func (o *Oracle) Exact(target *bitset.Set) []int {
 	var out []int
-	o.query(target, true, &out)
+	o.query(target, true, &out, nil)
 	return out
 }
 
 // query canonicalizes target, consults the transposition table, and solves
 // on a miss. When out is non-nil it receives a copy of the cover edges.
 // Every probe — hit, miss, or trivial empty bag — lands in probeNs, so the
-// distribution reflects what callers actually wait for.
-func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
+// distribution reflects what callers actually wait for. st, when non-nil,
+// is the calling worker's phase clock: solve time is attributed to the
+// cover-solve phase and the rest of the probe to the cover-probe phase
+// (the oracle is shared, so per-worker attribution must ride in with the
+// caller rather than live on the oracle).
+func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int, st *telemetry.Stats) int {
 	t0 := time.Now()
-	defer o.probeNs.ObserveSince(t0)
+	var solved time.Duration
+	defer func() {
+		o.probeNs.ObserveSince(t0)
+		if st != nil {
+			st.AddPhase(telemetry.PhaseCoverSolve, solved)
+			st.AddPhase(telemetry.PhaseCoverProbe, time.Since(t0)-solved)
+		}
+	}()
 	// Canonical bag: covers ignore vertices in no hyperedge, so interning
 	// target ∩ coverable makes e.g. {v} ∪ N(v) and its constrained subset
 	// share one entry.
@@ -225,7 +250,9 @@ func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
 	}
 
 	if o.disabled {
+		s0 := time.Now()
 		cov := o.solve(bag, exact)
+		solved = time.Since(s0)
 		if out != nil {
 			*out = append([]int(nil), cov...)
 		}
@@ -257,7 +284,9 @@ func (o *Oracle) query(target *bitset.Set, exact bool, out *[]int) int {
 	if n := o.misses.Add(1); o.tr != nil && n&255 == 1 {
 		o.pulse() // n==1 on the very first miss: a traced run always pulses
 	}
+	s0 := time.Now()
 	cov := o.solve(bag, exact)
+	solved = time.Since(s0)
 	if out != nil {
 		*out = append([]int(nil), cov...)
 	}

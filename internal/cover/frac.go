@@ -42,23 +42,34 @@ type fracScratch struct {
 // FracValue returns ρ*(target), the minimum total weight of a fractional
 // edge cover of the target's coverable vertices, memoized.
 func (o *Oracle) FracValue(target *bitset.Set) (float64, error) {
-	return o.queryFrac(target, nil)
+	return o.queryFrac(target, nil, nil)
+}
+
+// FracValueStats is FracValue with per-worker phase attribution: the
+// whole query — memo probe and, on a miss, the LP solve — lands in st's
+// LP clock (st may be nil). Identical answers either way.
+func (o *Oracle) FracValueStats(target *bitset.Set, st *telemetry.Stats) (float64, error) {
+	return o.queryFrac(target, nil, st)
 }
 
 // FracCover returns ρ*(target) together with the positive-weight edges of
 // an optimal fractional cover (ascending edge index), memoized.
 func (o *Oracle) FracCover(target *bitset.Set) (float64, []EdgeWeight, error) {
 	var out []EdgeWeight
-	val, err := o.queryFrac(target, &out)
+	val, err := o.queryFrac(target, &out, nil)
 	return val, out, err
 }
 
 // queryFrac mirrors query for the fractional kind: canonicalize, probe the
 // shared table, solve the LP outside the lock on a miss, memoize on
 // success. When out is non-nil it receives a copy of the cover weights.
-func (o *Oracle) queryFrac(target *bitset.Set, out *[]EdgeWeight) (float64, error) {
+// st, when non-nil, receives the whole call in its LP phase clock.
+func (o *Oracle) queryFrac(target *bitset.Set, out *[]EdgeWeight, st *telemetry.Stats) (float64, error) {
 	t0 := time.Now()
-	defer o.probeNs.ObserveSince(t0)
+	defer func() {
+		o.probeNs.ObserveSince(t0)
+		st.PhaseSince(telemetry.PhaseLP, t0)
+	}()
 	bag := o.scratch.Get().(*bitset.Set)
 	defer o.scratch.Put(bag)
 	bag.CopyFrom(target)

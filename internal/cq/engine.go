@@ -90,6 +90,8 @@ func BooleanWithCtx(ctx context.Context, q *Query, db *Database, d *decomp.Decom
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	mark := opt.Stats.MarkPhase()
+	defer opt.Stats.AttributeSince(telemetry.PhaseCQ, mark)
 	in, err := newInstance(q, db, nil)
 	if err != nil {
 		return false, err
@@ -126,6 +128,12 @@ func evaluateShared(ctx context.Context, q *Query, db *Database, d *decomp.Decom
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The whole evaluation — base pass, both reducer sweeps, output join,
+	// answer assembly — is conjunctive-query phase time. Worker goroutines
+	// sharing this Stats only deepen the subtraction, which keeps the
+	// exclusive sum ≤ wall.
+	mark := opt.Stats.MarkPhase()
+	defer opt.Stats.AttributeSince(telemetry.PhaseCQ, mark)
 	in, err := newInstance(q, db, sb)
 	if err != nil {
 		return nil, err

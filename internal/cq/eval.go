@@ -78,8 +78,8 @@ func (it *interner) value(i int) string { return it.dict[i] }
 
 // instance interns the database against the query structure.
 type instance struct {
-	varIndex map[string]int // query variable → hypergraph vertex index
-	terms    *interner      // constant dictionary (shared across a batch)
+	varIndex map[string]int  // query variable → hypergraph vertex index
+	terms    *interner       // constant dictionary (shared across a batch)
 	atomRel  []*csp.Relation // per body atom, scope = its vertex indices
 	empty    bool            // a ground atom failed: no answers
 }

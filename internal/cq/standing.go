@@ -336,9 +336,12 @@ func (s *StandingQuery) apply(ctx context.Context, relation string, tuple []stri
 	defer s.mu.Unlock()
 	if st := s.opt.Stats; st != nil {
 		// End-to-end delta latency, including validation, propagation, and
-		// (on conflict) the undo-journal rollback.
+		// (on conflict) the undo-journal rollback. The same window is the
+		// delta's conjunctive-query phase time.
 		t0 := time.Now()
 		defer func() { st.ObserveDeltaApply(time.Since(t0)) }()
+		mark := st.MarkPhase()
+		defer st.AttributeSince(telemetry.PhaseCQ, mark)
 	}
 	if err := ctx.Err(); err != nil {
 		return err

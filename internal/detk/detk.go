@@ -32,6 +32,11 @@ type Options struct {
 	Trace *telemetry.Trace
 	// Track is the trace timeline the events are emitted on.
 	Track int
+	// Stats, when non-nil, receives phase attribution: every Decompose
+	// call's wall time lands in the branch-expansion clock (det-k's
+	// separator-guess recursion is its branching loop). Attaching it never
+	// changes the decomposition.
+	Stats *telemetry.Stats
 }
 
 // Decompose returns a hypertree decomposition of h of width ≤ k, or
@@ -41,6 +46,8 @@ func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposit
 	if k < 1 {
 		return nil, false
 	}
+	mark := opt.Stats.MarkPhase()
+	defer opt.Stats.AttributeSince(telemetry.PhaseBranch, mark)
 	s := &solver{
 		h:    h,
 		k:    k,

@@ -88,17 +88,20 @@ type Result struct {
 }
 
 // evaluator bundles the shared pieces of ordering-width evaluation: the
-// oracle answering ρ* queries and a reusable bag buffer.
+// oracle answering ρ* queries, a reusable bag buffer, and the caller's
+// phase clock (nil = no attribution), which the oracle charges its LP
+// and probe time to.
 type evaluator struct {
 	orc *cover.Oracle
 	bag *bitset.Set
+	st  *telemetry.Stats
 }
 
-func newEvaluator(h *hypergraph.Hypergraph, orc *cover.Oracle) *evaluator {
+func newEvaluator(h *hypergraph.Hypergraph, orc *cover.Oracle, st *telemetry.Stats) *evaluator {
 	if orc == nil {
 		orc = cover.New(h, cover.Options{})
 	}
-	return &evaluator{orc: orc, bag: bitset.New(h.NumVertices())}
+	return &evaluator{orc: orc, bag: bitset.New(h.NumVertices()), st: st}
 }
 
 // widthOn evaluates the fractional width of ordering o on g, restoring g
@@ -118,9 +121,9 @@ func widthOn(ctx context.Context, g *elim.Graph, chk *interrupt.Checker, ev *eva
 		}
 		ev.bag.CopyFrom(g.Neighbors(v))
 		ev.bag.Add(v)
-		val, err := ev.orc.FracValue(ev.bag)
+		val, err := ev.orc.FracValueStats(ev.bag, ev.st)
 		if err != nil {
-			val = float64(ev.orc.GreedySize(ev.bag))
+			val = float64(ev.orc.GreedySizeStats(ev.bag, ev.st))
 		}
 		if val > w {
 			w = val
@@ -140,7 +143,7 @@ func WidthCtx(ctx context.Context, h *hypergraph.Hypergraph, o order.Ordering, o
 	if err := o.Validate(h.NumVertices()); err != nil {
 		return 0, err
 	}
-	return widthOn(ctx, elim.New(h.PrimalGraph()), interrupt.New(ctx, 1), newEvaluator(h, orc), o, 0)
+	return widthOn(ctx, elim.New(h.PrimalGraph()), interrupt.New(ctx, 1), newEvaluator(h, orc, nil), o, 0)
 }
 
 // LocalSearchCtx improves an fhw upper bound by hill-climbing over
@@ -160,7 +163,14 @@ func LocalSearchCtx(ctx context.Context, h *hypergraph.Hypergraph, start order.O
 	if rounds <= 0 {
 		rounds = DefaultRounds
 	}
-	ev := newEvaluator(h, opt.Oracle)
+	// The local-search loop is branch-expansion time; LP and probe time
+	// self-attributes inside via the evaluator's clock. Under Jobs > 1 the
+	// workers share one Stats, so concurrent windows under-attribute (each
+	// subtracts everyone's LP deltas) — safe for the phases-sum-≤-wall
+	// property, and exact at Jobs = 1.
+	mark := opt.Stats.MarkPhase()
+	defer opt.Stats.AttributeSince(telemetry.PhaseBranch, mark)
+	ev := newEvaluator(h, opt.Oracle, opt.Stats)
 	chk := interrupt.New(ctx, 1)
 	g := elim.New(h.PrimalGraph())
 	rng := rand.New(rand.NewSource(opt.Seed))

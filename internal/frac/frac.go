@@ -66,7 +66,7 @@ func Width(h *hypergraph.Hypergraph, o order.Ordering) float64 {
 	if err := o.Validate(h.NumVertices()); err != nil {
 		panic(err)
 	}
-	w, err := widthOn(context.Background(), elim.New(h.PrimalGraph()), nil, newEvaluator(h, nil), o, 0)
+	w, err := widthOn(context.Background(), elim.New(h.PrimalGraph()), nil, newEvaluator(h, nil, nil), o, 0)
 	if err != nil {
 		panic(err) // unreachable: nil checker never stops, evaluator never errors
 	}

@@ -160,12 +160,17 @@ type FloatResult struct {
 
 // evolveFloat is the generic GA loop of Fig. 6.1 over permutations of n
 // vertices; fitness is any real-valued objective (smaller is fitter).
+// The whole loop is branch-expansion phase time (fitness evaluations are
+// the GA's analogue of node expansion); any finer-grained clock fired
+// inside is subtracted by the closing AttributeSince.
 // Optional seed orderings replace the first individuals of the initial
 // population. Cancellation is polled between fitness evaluations and at
 // generation boundaries; the best-so-far individual is returned either
 // way. The first individual is evaluated before the first poll, so the
 // result always carries an incumbent.
 func evolveFloat(ctx context.Context, n int, cfg Config, rng *rand.Rand, weight func(order.Ordering) float64, seeds ...order.Ordering) FloatResult {
+	mark := cfg.Stats.MarkPhase()
+	defer cfg.Stats.AttributeSince(telemetry.PhaseBranch, mark)
 	if cfg.PopulationSize < 2 {
 		cfg.PopulationSize = 2
 	}

@@ -14,6 +14,7 @@ package heur
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"hypertree/internal/elim"
 	"hypertree/internal/interrupt"
@@ -64,6 +65,12 @@ func MinDegree(g *elim.Graph, rng *rand.Rand) ([]int, int) {
 }
 
 func greedyOrdering(ctx context.Context, g *elim.Graph, rng *rand.Rand, st *telemetry.Stats, score func(*elim.Graph, int) int) ([]int, int, error) {
+	// The whole greedy construction is heuristic-seed time (no oracle or
+	// LP calls happen inside, so plain self-attribution is exact). Callers
+	// that wrap a wider seeding window subtract this via AttributeSince.
+	if st != nil {
+		defer st.PhaseSince(telemetry.PhaseHeurSeed, time.Now())
+	}
 	chk := interrupt.New(ctx, 1)
 	c := g.Clone()
 	ordering := make([]int, 0, c.Remaining())

@@ -24,6 +24,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/cover"
@@ -121,14 +122,32 @@ func GHWModeCtx(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, o
 // bound (weaker, still admissible), preserving determinism: the fallback
 // depends only on the instance, never on cache state.
 func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, orc *cover.Oracle, fracBound bool) Mode {
+	return GHWModeStats(ctx, h, rng, orc, fracBound, nil)
+}
+
+// GHWModeStats is GHWModeFrac with cost attribution: when st is non-nil,
+// every oracle query the mode issues carries the calling worker's phase
+// clock (probe/solve/LP split), and the fractional cascade additionally
+// records its bound-effectiveness — LP evaluations, wins over the
+// k-set-cover base, the margin distribution, and the cascade's rule time.
+// A nil st is byte-for-byte the old behaviour, and attaching one never
+// changes any mode value (telemetry never feeds back into search).
+func GHWModeStats(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, orc *cover.Oracle, fracBound bool, st *telemetry.Stats) Mode {
 	if orc == nil {
 		orc = cover.New(h, cover.Options{})
 	}
 	scratch := bitset.New(h.NumVertices())
 	fracScratch := bitset.New(h.NumVertices())
 	// fracFloor raises base to the fractional completion bound, early-
-	// exiting once no remaining vertex can beat base.
+	// exiting once no remaining vertex can beat base. This is the cascade
+	// the ROADMAP's bound-quality question is about, so it self-reports:
+	// one FracLPEval per ρ* query, and per completed cascade the margin
+	// (best − base, 0 on non-wins) plus the whole window as rule time.
 	fracFloor := func(g *elim.Graph, base int) int {
+		var rt time.Time
+		if st != nil {
+			rt = time.Now()
+		}
 		best := -1
 		done := false
 		g.ForEachRemaining(func(v int) {
@@ -137,7 +156,8 @@ func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, 
 			}
 			fracScratch.CopyFrom(g.Neighbors(v))
 			fracScratch.Add(v)
-			val, err := orc.FracValue(fracScratch)
+			st.FracLPEval()
+			val, err := orc.FracValueStats(fracScratch, st)
 			if err != nil {
 				best, done = -1, true // fall back to the set-cover bound
 				return
@@ -150,6 +170,16 @@ func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, 
 				}
 			}
 		})
+		if st != nil {
+			if best >= 0 { // completed cascade (not the LP-error fallback)
+				margin := best - base
+				if margin < 0 {
+					margin = 0
+				}
+				st.FracBoundOutcome(int64(margin))
+			}
+			st.RuleSince(telemetry.RuleFracBound, rt)
+		}
 		if best > base {
 			return best
 		}
@@ -159,7 +189,7 @@ func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, 
 		StepCost: func(g *elim.Graph, v int) int {
 			scratch.CopyFrom(g.Neighbors(v))
 			scratch.Add(v)
-			return orc.ExactSize(scratch)
+			return orc.ExactSizeStats(scratch, st)
 		},
 		ResidualLB: func(g *elim.Graph) int {
 			if g.Remaining() == 0 {
@@ -178,7 +208,7 @@ func GHWModeFrac(ctx context.Context, h *hypergraph.Hypergraph, rng *rand.Rand, 
 			if scratch.Empty() {
 				return 0
 			}
-			return orc.GreedySize(scratch)
+			return orc.GreedySizeStats(scratch, st)
 		},
 		RootLB: func(g *elim.Graph) int {
 			if g.Remaining() == 0 {

@@ -192,6 +192,12 @@ func (f *FlightRecorder) Dump(reason string) (string, error) {
 		Incumbents: f.st.Trace(),
 		Dropped:    f.tr.Dropped(),
 	}
+	// The watcher can dump mid-run, before the CLI folds the ring's drop
+	// counter into the run Stats — mirror it into the snapshot so every
+	// consumer of counters sees it.
+	if doc.Counters.TraceDropped == 0 {
+		doc.Counters.TraceDropped = doc.Dropped
+	}
 	keep(writeBundleFile(f.dir, BundleStats, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -240,6 +246,12 @@ func RenderBundle(dir string, w io.Writer) error {
 	if doc.Dropped > 0 {
 		fmt.Fprintf(w, "  note: trace ring wrapped, oldest %d events lost\n", doc.Dropped)
 	}
+
+	// Attribution sections (absent from pre-phase-clock bundles, whose
+	// snapshots decode these fields as zero and render nothing).
+	writePhaseSection(w, phaseReports(doc.Counters, 0), 0, 0)
+	writeRuleSection(w, ruleReports(doc.Counters))
+	writeBoundSection(w, boundReport(doc.Counters))
 
 	if phases, err := bundlePhases(dir); err == nil && len(phases) > 0 {
 		fmt.Fprintf(w, "\ntop phases by wall time:\n")

@@ -53,6 +53,9 @@ var promCounters = []promCounter{
 	{"htd_cq_batch_shared_joins_total", "Batch-mode base relations served from the shared intern store.", func(s Snapshot) int64 { return s.CQBatchSharedJoins }},
 	{"htd_gc_count_total", "GC cycles observed over the run.", func(s Snapshot) int64 { return s.GCCount }},
 	{"htd_mem_samples_total", "MemStats samples taken by the background sampler.", func(s Snapshot) int64 { return s.MemSamples }},
+	{"htd_frac_lp_evals_total", "LP evaluations performed by the -fracbound cascade.", func(s Snapshot) int64 { return s.FracLPEvals }},
+	{"htd_frac_bound_wins_total", "Cascades where the fractional bound beat k-set-cover.", func(s Snapshot) int64 { return s.FracBoundWins }},
+	{"htd_trace_dropped_total", "Trace-ring events lost to wraparound.", func(s Snapshot) int64 { return s.TraceDropped }},
 }
 
 // promGauges are point-in-time byte/duration readings (not monotone).
@@ -86,8 +89,45 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 			return err
 		}
 	}
+	if err := writePromPhases(w, snap); err != nil {
+		return err
+	}
 	for _, h := range promHists {
 		if err := writePromHist(w, h, snap); err != nil {
+			return err
+		}
+	}
+	return writePromRawHist(w, "htd_frac_bound_margin",
+		"Fractional-bound margin over k-set-cover (width units, one sample per completed cascade).",
+		snap.FracBoundMargin)
+}
+
+// writePromPhases emits the labeled attribution families: one
+// htd_phase_seconds sample per PhaseID and one htd_prune_rule_seconds
+// sample per RuleID. Label sets are fixed, so the families are stable
+// across scrapes even when a phase never fired.
+func writePromPhases(w io.Writer, snap Snapshot) error {
+	const phaseName = "htd_phase_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Wall-clock seconds attributed per run phase.\n# TYPE %s counter\n",
+		phaseName, phaseName); err != nil {
+		return err
+	}
+	for i := 0; i < NumPhases; i++ {
+		p := PhaseID(i)
+		if _, err := fmt.Fprintf(w, "%s{phase=%q} %s\n", phaseName, p.String(),
+			strconv.FormatFloat(float64(snap.Phases.Ns(p))/1e9, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	const ruleName = "htd_prune_rule_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Decision-time seconds spent per prune rule.\n# TYPE %s counter\n",
+		ruleName, ruleName); err != nil {
+		return err
+	}
+	for i := 0; i < NumRules; i++ {
+		r := RuleID(i)
+		if _, err := fmt.Fprintf(w, "%s{rule=%q} %s\n", ruleName, r.String(),
+			strconv.FormatFloat(float64(snap.Rules.Ns(r))/1e9, 'g', -1, 64)); err != nil {
 			return err
 		}
 	}
@@ -117,6 +157,25 @@ func writePromHist(w io.Writer, h promHist, snap Snapshot) error {
 		h.name, hs.Count,
 		h.name, strconv.FormatFloat(float64(hs.Sum)/1e9, 'g', -1, 64),
 		h.name, hs.Count)
+	return err
+}
+
+// writePromRawHist writes a histogram whose observations are unitless
+// (the frac-bound margin is in width units, not nanoseconds): le bounds
+// and the sum stay in the raw log₂ bucket scale.
+func writePromRawHist(w io.Writer, name, help string, hs HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, c := range hs.Buckets {
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, HistBucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, hs.Count, name, hs.Sum, name, hs.Count)
 	return err
 }
 

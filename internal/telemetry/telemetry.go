@@ -64,6 +64,15 @@ type Stats struct {
 	cqDeltaNs     Histogram // standing-query delta apply latency
 	firstIncNs    Histogram // time to first incumbent, per portfolio worker
 
+	// Cost attribution (phases.go): exclusive phase clocks, per-rule
+	// decision time, and the fractional-bound effectiveness record.
+	phaseNs      [NumPhases]atomic.Int64 // wall attributed per PhaseID
+	ruleNs       [NumRules]atomic.Int64  // decision time per prune RuleID
+	fracLPEvals  atomic.Int64            // LP evaluations by the -fracbound cascade
+	fracWins     atomic.Int64            // cascades where ⌈ρ*⌉ beat k-set-cover
+	fracMargin   Histogram               // margin distribution (width units, all cascades)
+	traceDropped atomic.Int64            // trace-ring events lost to wraparound
+
 	mu    sync.Mutex
 	t0    time.Time
 	trace []Incumbent
@@ -359,6 +368,24 @@ type Snapshot struct {
 	CQBatchNs        HistSnapshot `json:"cq_batch_ns"`
 	CQDeltaApplyNs   HistSnapshot `json:"cq_delta_apply_ns"`
 	FirstIncumbentNs HistSnapshot `json:"first_incumbent_ns"`
+
+	// Cost attribution (zero unless the phase clocks fired; see phases.go).
+	// Phases partition attributed wall time exclusively; Rules record
+	// overlapping per-prune-rule decision time. Both are additive, so old
+	// JSON documents without them decode as all-zero and merge cleanly.
+	Phases PhaseBreakdown `json:"phases"`
+	Rules  RuleBreakdown  `json:"rule_ns"`
+
+	// Bound-effectiveness record of the -fracbound cascade: evaluations,
+	// wins over the k-set-cover base, and the margin distribution (width
+	// units, one observation per completed cascade, 0 on non-wins).
+	FracLPEvals     int64        `json:"frac_lp_evals,omitempty"`
+	FracBoundWins   int64        `json:"frac_bound_wins,omitempty"`
+	FracBoundMargin HistSnapshot `json:"frac_bound_margin"`
+
+	// TraceDropped counts trace-ring events lost to wraparound (satellite
+	// visibility for truncated traces).
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
 }
 
 // Snapshot reads the counters atomically (individually, not as a group).
@@ -401,6 +428,13 @@ func (s *Stats) Snapshot() Snapshot {
 		CQBatchNs:        s.cqBatchNs.Snapshot(),
 		CQDeltaApplyNs:   s.cqDeltaNs.Snapshot(),
 		FirstIncumbentNs: s.firstIncNs.Snapshot(),
+
+		Phases:          s.phaseSnapshot(),
+		Rules:           s.ruleSnapshot(),
+		FracLPEvals:     s.fracLPEvals.Load(),
+		FracBoundWins:   s.fracWins.Load(),
+		FracBoundMargin: s.fracMargin.Snapshot(),
+		TraceDropped:    s.traceDropped.Load(),
 	}
 }
 
@@ -442,6 +476,13 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		CQBatchNs:        a.CQBatchNs.Add(b.CQBatchNs),
 		CQDeltaApplyNs:   a.CQDeltaApplyNs.Add(b.CQDeltaApplyNs),
 		FirstIncumbentNs: a.FirstIncumbentNs.Add(b.FirstIncumbentNs),
+
+		Phases:          a.Phases.Add(b.Phases),
+		Rules:           a.Rules.Add(b.Rules),
+		FracLPEvals:     a.FracLPEvals + b.FracLPEvals,
+		FracBoundWins:   a.FracBoundWins + b.FracBoundWins,
+		FracBoundMargin: a.FracBoundMargin.Add(b.FracBoundMargin),
+		TraceDropped:    a.TraceDropped + b.TraceDropped,
 	}
 }
 
@@ -496,6 +537,12 @@ func (s *Stats) AddSnapshot(b Snapshot) {
 	s.cqBatchNs.AddSnapshot(b.CQBatchNs)
 	s.cqDeltaNs.AddSnapshot(b.CQDeltaApplyNs)
 	s.firstIncNs.AddSnapshot(b.FirstIncumbentNs)
+	s.addPhaseBreakdown(b.Phases)
+	s.addRuleBreakdown(b.Rules)
+	s.fracLPEvals.Add(b.FracLPEvals)
+	s.fracWins.Add(b.FracBoundWins)
+	s.fracMargin.AddSnapshot(b.FracBoundMargin)
+	s.traceDropped.Add(b.TraceDropped)
 }
 
 // Incumbent is one point of the anytime trace: at Elapsed since the run

@@ -106,3 +106,33 @@ func BenchmarkGHWHistogramsOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDecomposePhaseClocksOff / On pin the cost of the cost-
+// attribution phase clocks on the full decomposition pipeline (heuristic
+// seed, branch windows, per-call oracle attribution, λ-materialization).
+// Off is the nil fast path — MarkPhase returns the zero mark and every
+// AddPhase/AttributeSince point is one nil check — and inherits the ≤2%
+// overhead bar; On adds two clock reads plus NumPhases atomic loads per
+// coarse window and one atomic add per fine-phase call.
+func BenchmarkDecomposePhaseClocksOff(b *testing.B) {
+	h := benchGHWInstance()
+	opt := benchGHWOpts(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(h, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposePhaseClocksOn(b *testing.B) {
+	h := benchGHWInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := benchGHWOpts(false)
+		opt.Stats = new(Stats)
+		if _, err := Decompose(h, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

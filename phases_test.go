@@ -1,0 +1,84 @@
+// Facade-level properties of the cost-attribution layer: for a
+// single-threaded run the exclusive phase clocks must sum to no more than
+// the wall clock around the call, and attaching the clocks must leave the
+// computed result bit-identical for a fixed seed (telemetry never feeds
+// back into search).
+package htd
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hypertree/internal/gen"
+)
+
+// TestPhasesSumWithinWall runs a single-method (hence single-worker)
+// exact GHW search plus λ-materialization with the clocks attached and
+// asserts the exclusive-attribution invariant: Σ phases ≤ wall. A
+// portfolio run folds per-worker clocks and so reports CPU time, which
+// is why this property is stated — and tested — at Jobs=1 equivalence
+// only.
+func TestPhasesSumWithinWall(t *testing.T) {
+	h := gen.Grid2DHypergraph(5, 5)
+	st := new(Stats)
+	start := time.Now()
+	if _, err := Decompose(h, Options{Method: MethodBB, Seed: 1, MaxNodes: 3000, Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	snap := st.Snapshot()
+	total := snap.Phases.Total()
+	if total <= 0 {
+		t.Fatal("phase clocks attributed nothing")
+	}
+	if total > int64(wall) {
+		t.Fatalf("phases sum %v exceeds wall %v: %+v",
+			time.Duration(total), wall, snap.Phases)
+	}
+	// The run must have touched the phases this pipeline is built from.
+	if snap.Phases.BranchNs == 0 {
+		t.Errorf("no branch-phase time recorded: %+v", snap.Phases)
+	}
+	if snap.Phases.CoverProbeNs == 0 && snap.Phases.CoverSolveNs == 0 {
+		t.Errorf("no cover-oracle time recorded: %+v", snap.Phases)
+	}
+	if snap.Phases.LambdaNs == 0 {
+		t.Errorf("no λ-materialization time recorded: %+v", snap.Phases)
+	}
+}
+
+// TestPhaseClocksResultInvariant pins the no-feedback contract: the same
+// fixed-seed search with and without the attribution layer attached must
+// return identical widths, bounds, exactness, node counts and witness
+// orderings — including under -fracbound, where the cascade both records
+// telemetry and prunes.
+func TestPhaseClocksResultInvariant(t *testing.T) {
+	h := gen.Grid2DHypergraph(5, 5)
+	for _, fracBound := range []bool{false, true} {
+		base := Options{Method: MethodBB, Seed: 1, MaxNodes: 3000, FracBound: fracBound}
+		bare, err := GHW(h, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attached := base
+		attached.Stats = new(Stats)
+		attached.Trace = NewTrace(0)
+		obs, err := GHW(h, attached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bare.Width != obs.Width || bare.LowerBound != obs.LowerBound || bare.Exact != obs.Exact {
+			t.Fatalf("fracbound=%v: result drifted with telemetry attached: %d/%d/%v vs %d/%d/%v",
+				fracBound, bare.Width, bare.LowerBound, bare.Exact,
+				obs.Width, obs.LowerBound, obs.Exact)
+		}
+		if bare.Nodes != obs.Nodes {
+			t.Fatalf("fracbound=%v: node count drifted %d -> %d with telemetry attached",
+				fracBound, bare.Nodes, obs.Nodes)
+		}
+		if !reflect.DeepEqual(bare.Ordering, obs.Ordering) {
+			t.Fatalf("fracbound=%v: witness ordering drifted with telemetry attached", fracBound)
+		}
+	}
+}
