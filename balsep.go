@@ -1,0 +1,91 @@
+package htd
+
+import (
+	"context"
+	"math/rand"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/detk"
+	"hypertree/internal/heur"
+	"hypertree/internal/order"
+)
+
+// balsepGHW drives MethodBalSep under the house anytime contract: a
+// min-fill ordering seeds the incumbent, then the balanced-separator
+// engine deepens k from the tw-ksc lower bound towards the incumbent's
+// width, stepping by Approx+1 in approx mode. Each level either produces
+// a witness (its extracted elimination ordering becomes the incumbent) or
+// a completeness-flagged failure; a deadline mid-level falls back to the
+// incumbent with Exact=false.
+func balsepGHW(ctx context.Context, h *Hypergraph, opt Options, sc *scope, orc *cover.Oracle) (Result, error) {
+	ord, _, err := heur.MinFillCtxStats(ctx, elimNew(h.PrimalGraph()),
+		rand.New(rand.NewSource(opt.Seed)), sc.engineStats())
+	if err != nil {
+		// Cancelled before any incumbent exists.
+		return Result{}, err
+	}
+	w0 := order.GHWidthWith(h, ord, nil, true, orc)
+	if hook := sc.incumbentHook(); hook != nil {
+		hook(w0)
+	}
+	lb := GHWLowerBound(h, opt.Seed)
+	if lb < 1 {
+		lb = 1
+	}
+	best := Result{Width: w0, Ordering: ord, LowerBound: lb}
+	if w0 <= lb {
+		best.Exact = true
+		return best, nil
+	}
+	approx := opt.Approx
+	if approx < 0 {
+		approx = 0
+	}
+	// proofs tracks whether every level below the next k failed completely
+	// — i.e. hw(H) > k−1 is proven, which is what lets a success at k (or
+	// the min-fill incumbent at w0) claim exactness. A capped or cancelled
+	// level forfeits the claim.
+	proofs := true
+	for k := lb; k < w0; k += approx + 1 {
+		r := detk.DecomposeBalancedCtx(ctx, h, k, detk.BalancedOptions{
+			Jobs:       opt.Jobs,
+			MaxGuesses: opt.MaxNodes,
+			Approx:     approx,
+			Seed:       opt.Seed,
+			Oracle:     orc,
+			Stats:      sc.engineStats(),
+			Trace:      sc.traceRef(),
+			Track:      sc.trackID(),
+		})
+		if r.Err != nil {
+			// Deadline mid-level: the incumbent stands, unproven.
+			return best, nil
+		}
+		if r.Found {
+			o := order.FromDecomposition(r.Decomposition)
+			w := order.GHWidthWith(h, o, nil, true, orc)
+			if hook := sc.incumbentHook(); hook != nil {
+				hook(w)
+			}
+			if w <= best.Width {
+				best.Width = w
+				best.Ordering = o
+			}
+			// Exact iff the width matches a proof: either the global lower
+			// bound, or infeasibility of every smaller k established by the
+			// completed levels below (and no approx slack spent). A witness
+			// whose extracted ordering scores below k is kept but cannot be
+			// certified here.
+			best.Exact = best.Width == lb ||
+				(proofs && r.Complete && r.SlackUsed == 0 && best.Width == k)
+			return best, nil
+		}
+		if !r.Complete {
+			proofs = false
+		}
+	}
+	// Every level below w0 failed: the min-fill incumbent is optimal when
+	// they all failed completely.
+	best.Exact = proofs
+	return best, nil
+}

@@ -20,11 +20,12 @@ import (
 
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
-	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio|fhw")
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio|fhw|balsep")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); on expiry the incumbent found so far is diagnosed")
-	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
+	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method); for -method balsep, the engine's internal worker-pool size")
+	approx := fs.Int("approx", 0, "balsep width slack (see htd decompose -approx)")
 	fracBound := fs.Bool("fracbound", false, "prune bb/astar with the fractional (LP) residual lower bound and report its effectiveness")
 	jsonOut := fs.Bool("json", false, "emit the diagnosis as a JSON document instead of text")
 	of := addObsFlags(fs)
@@ -57,7 +58,7 @@ func cmdExplain(args []string) error {
 	start := time.Now()
 	d, res, err := htd.ExplainCtx(ctx, h, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs, FracBound: *fracBound,
-		Stats: s.stats, Observer: s.obs, Trace: s.trace,
+		Approx: *approx, Stats: s.stats, Observer: s.obs, Trace: s.trace,
 	})
 	wall := time.Since(start)
 	if err != nil {

@@ -90,7 +90,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `htd — tree and generalized hypertree decompositions
 
 commands:
-  decompose  compute a GHD of a hypergraph file (-method minfill|ga|saiga|bb|astar|portfolio|fhw)
+  decompose  compute a GHD of a hypergraph file (-method minfill|ga|saiga|bb|astar|portfolio|fhw|balsep)
   tw         compute the treewidth of a DIMACS or PACE graph file
   hw         compute the exact hypertree width via det-k-decomp
   fhw        anytime fractional hypertree width upper bound (-timeout/-jobs/-rounds)
@@ -139,11 +139,12 @@ func loadGraph(path string) (*htd.Graph, error) {
 
 func cmdDecompose(args []string) error {
 	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
-	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio|fhw")
+	method := fs.String("method", "bb", "algorithm: minfill|ga|saiga|bb|astar|portfolio|fhw|balsep")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNodes := fs.Int64("maxnodes", 0, "search node budget (0 = unbounded)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms or 10s (0 = none); on expiry the best decomposition found so far is returned")
-	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method)")
+	jobs := fs.Int("jobs", 0, "max concurrent portfolio workers (0 = one per method); for -method balsep, the engine's internal worker-pool size")
+	approx := fs.Int("approx", 0, "balsep width slack: each level k may spend up to k+N separator edges before declaring failure (results beyond the level are flagged inexact); other methods ignore it")
 	fracBound := fs.Bool("fracbound", false, "prune bb/astar with the fractional (LP) residual lower bound — same widths, fewer nodes on tightly covered instances")
 	show := fs.Bool("print", false, "print the decomposition tree")
 	dotOut := fs.String("dot", "", "write the decomposition as Graphviz DOT to this file")
@@ -173,7 +174,7 @@ func cmdDecompose(args []string) error {
 	start := time.Now()
 	d, err := htd.DecomposeCtx(ctx, h, htd.Options{
 		Method: m, Seed: *seed, MaxNodes: *maxNodes, Jobs: *jobs, FracBound: *fracBound,
-		Stats: s.stats, Observer: s.obs, Trace: s.trace,
+		Approx: *approx, Stats: s.stats, Observer: s.obs, Trace: s.trace,
 	})
 	wall := time.Since(start)
 	if err != nil {

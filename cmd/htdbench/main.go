@@ -13,6 +13,9 @@
 //	htdbench -json -queries -methods minfill   # BENCH_query.json: the CQ
 //	                         # workload catalog through the parallel
 //	                         # Yannakakis engine (answer counts gated too)
+//	htdbench -hw -timeout 10s  # BENCH_balsep.json: the hypertree-width
+//	                         # shoot-out — sequential det-k vs the balanced-
+//	                         # separator engine at Jobs 1 and 4
 //	htdbench -compare BENCH_portfolio.json new.json               # perf gate
 //	htdbench -compare -max-wall 2 -max-heap 1.5 base.json new.json
 //
@@ -46,9 +49,10 @@ func main() {
 	runs := flag.Int("runs", 0, "repetitions for stochastic algorithms (0 = default)")
 	jsonOut := flag.Bool("json", false, "run the JSON bench harness over the instance catalog instead of rendering tables")
 	queries := flag.Bool("queries", false, "with -json: run the conjunctive-query workload catalog (BENCH_query.json) instead of the decomposition catalog")
+	hw := flag.Bool("hw", false, "run the hypertree-width engine shoot-out (detk vs balsep at Jobs 1 and 4) over the hypergraph catalog (BENCH_balsep.json); implies -json")
 	out := flag.String("o", "BENCH_portfolio.json", "output path for -json ('-' = stdout)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-(instance, method) wall-clock budget for -json")
-	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio|fhw")
+	methods := flag.String("methods", "portfolio", "comma-separated methods for -json: minfill|ga|saiga|bb|astar|portfolio|fhw|balsep")
 	noCoverCache := flag.Bool("nocovercache", false, "disable the shared cover-oracle cache in GHW runs (for measuring cache effectiveness)")
 	fracBound := flag.Bool("fracbound", false, "enable the fractional (LP) residual lower bound in exact GHW runs; compare node counts against a baseline without it to measure the extra pruning")
 	instances := flag.String("instances", "", "regexp filter on catalog instance names for -json (empty = all)")
@@ -84,11 +88,14 @@ func main() {
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), th))
 	}
 
-	if *jsonOut {
+	if *jsonOut || *hw {
 		if *queries && *out == "BENCH_portfolio.json" {
 			*out = "BENCH_query.json"
 		}
-		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *fracBound, *instances, *queries); err != nil {
+		if *hw && *out == "BENCH_portfolio.json" {
+			*out = "BENCH_balsep.json"
+		}
+		if err := runJSON(*full, *seed, *timeout, *methods, *out, *noCoverCache, *fracBound, *instances, *queries, *hw); err != nil {
 			fmt.Fprintln(os.Stderr, "htdbench:", err)
 			os.Exit(2)
 		}
@@ -114,7 +121,7 @@ func main() {
 
 // runJSON executes the bench harness (decomposition catalog, or the
 // query-workload catalog when queries is set) and writes the report.
-func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache, fracBound bool, instances string, queries bool) error {
+func runJSON(full bool, seed int64, timeout time.Duration, methodList, out string, noCoverCache, fracBound bool, instances string, queries, hw bool) error {
 	var ms []htd.Method
 	for _, name := range strings.Split(methodList, ",") {
 		name = strings.TrimSpace(name)
@@ -145,9 +152,12 @@ func runJSON(full bool, seed int64, timeout time.Duration, methodList, out strin
 		Log:               os.Stderr,
 	}
 	var rep bench.Report
-	if queries {
+	switch {
+	case hw:
+		rep = bench.RunHW(cfg)
+	case queries:
 		rep = bench.RunQueries(cfg)
-	} else {
+	default:
 		rep = bench.Run(cfg)
 	}
 	if out == "-" {

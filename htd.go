@@ -147,6 +147,14 @@ const (
 	// the ordering; Result.FracWidth carries the fractional objective). GHW
 	// and Decompose only; not valid for treewidth.
 	MethodFHW
+	// MethodBalSep runs the BalancedGo-style balanced-separator search
+	// (Gottlob–Okulmus–Pichler) as an anytime engine: iterative deepening
+	// from the tw-ksc lower bound, each level exploring separator components
+	// in parallel through a work-stealing pool (Options.Jobs), separator
+	// enumeration fed by the run's shared cover oracle, with a min-fill
+	// incumbent as the anytime fallback. Options.Approx trades width slack
+	// for speed. GHW and Decompose only; not valid for treewidth.
+	MethodBalSep
 )
 
 // String names the method.
@@ -166,6 +174,8 @@ func (m Method) String() string {
 		return "portfolio"
 	case MethodFHW:
 		return "fhw"
+	case MethodBalSep:
+		return "balsep"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
@@ -187,8 +197,10 @@ func ParseMethod(s string) (Method, error) {
 		return MethodPortfolio, nil
 	case "fhw":
 		return MethodFHW, nil
+	case "balsep":
+		return MethodBalSep, nil
 	}
-	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar|portfolio|fhw)", s)
+	return 0, fmt.Errorf("htd: unknown method %q (minfill|ga|saiga|bb|astar|portfolio|fhw|balsep)", s)
 }
 
 // Options configures Decompose and the width functions.
@@ -212,8 +224,16 @@ type Options struct {
 	// method). Queued workers that a deadline or an exact answer overtakes
 	// never start. Jobs=1 runs the methods sequentially in slot order,
 	// which makes the whole portfolio result — witness ordering included —
-	// reproducible for a fixed Seed.
+	// reproducible for a fixed Seed. For MethodBalSep, Jobs instead sizes
+	// the engine's internal work-stealing pool; the decomposition a
+	// complete balsep search finds is identical at every Jobs value.
 	Jobs int
+	// Approx is MethodBalSep's width slack (the CLI's -approx N): each
+	// deepening level k may spend up to k+Approx separator edges before
+	// declaring failure, and levels advance by Approx+1. Witnesses whose
+	// width exceeds the level that found them report Exact=false. Ignored
+	// by every other method.
+	Approx int
 	// FracBound turns on the fractional residual lower bound in the exact
 	// GHW searches (BB-ghw, A*-ghw): residual states additionally pay
 	// ⌈ρ*(χ_v)⌉ for their cheapest next elimination, a bound at least as
@@ -433,6 +453,12 @@ func ghwOne(ctx context.Context, h *Hypergraph, opt Options, sc *scope, orc *cov
 			hook(w)
 		}
 		res = Result{Width: w, Ordering: r.Ordering, FracWidth: r.Width}
+	case MethodBalSep:
+		var err error
+		res, err = balsepGHW(ctx, h, opt, sc, orc)
+		if err != nil {
+			return nil, Result{}, err
+		}
 	default:
 		return nil, Result{}, fmt.Errorf("htd: unknown method %v", opt.Method)
 	}
@@ -616,6 +642,14 @@ func HypertreeWidthStats(h *Hypergraph, maxK int, st *Stats, tr *Trace) (int, *D
 	return detk.Width(h, maxK, detk.Options{Trace: tr, Stats: st})
 }
 
+// HypertreeWidthCtx is HypertreeWidthStats under a context: cancellation
+// or a deadline aborts det-k-decomp at the next poll and returns the
+// context error with width −1 (hypertree width has no anytime incumbent —
+// a truncated run proves nothing in either direction).
+func HypertreeWidthCtx(ctx context.Context, h *Hypergraph, maxK int, st *Stats, tr *Trace) (int, *Decomposition, error) {
+	return detk.WidthCtx(ctx, h, maxK, detk.Options{Trace: tr, Stats: st})
+}
+
 // HypertreeDecompose returns a hypertree decomposition of width ≤ k, or
 // ok=false when hw(H) > k. Deciding this is polynomial for fixed k —
 // the tractability frontier the PODS survey centres on.
@@ -625,9 +659,13 @@ func HypertreeDecompose(h *Hypergraph, k int) (*Decomposition, bool) {
 
 // HypertreeDecomposeBalanced is the BalancedGo-style variant: feasible
 // separators are tried most-balanced first, giving shallow trees, and the
-// components of each separator recurse in parallel.
-func HypertreeDecomposeBalanced(h *Hypergraph, k int) (*Decomposition, bool) {
-	return detk.DecomposeBalanced(h, k, detk.BalancedOptions{Parallel: true})
+// components of each separator recurse in parallel on a small worker
+// pool. complete distinguishes a proof of hw(H) > k (ok=false,
+// complete=true) from a truncated search; with unbounded guesses it is
+// always true. Use MethodBalSep via DecomposeCtx/GHWCtx for the full
+// engine (context, approx slack, shared cover oracle, telemetry).
+func HypertreeDecomposeBalanced(h *Hypergraph, k int) (d *Decomposition, ok, complete bool) {
+	return detk.DecomposeBalanced(h, k, detk.BalancedOptions{Jobs: 4})
 }
 
 // FractionalCover returns ρ*(target): the minimum total weight of a

@@ -199,9 +199,12 @@ func TestWeightedFacade(t *testing.T) {
 
 func TestBalancedFacade(t *testing.T) {
 	h := gen.Adder(10)
-	d, ok := HypertreeDecomposeBalanced(h, 2)
+	d, ok, complete := HypertreeDecomposeBalanced(h, 2)
 	if !ok {
 		t.Fatal("balanced decomposer failed on adder_10 at k=2")
+	}
+	if !complete {
+		t.Fatal("uncapped balanced run reported incomplete")
 	}
 	if err := d.ValidateGHD(); err != nil {
 		t.Fatal(err)

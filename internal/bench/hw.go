@@ -1,0 +1,84 @@
+// The hypertree-width engine shoot-out behind `htdbench -hw`: the
+// sequential det-k width search against the balanced-separator facade at
+// Jobs 1 and 4, per hypergraph catalog instance, under one shared budget.
+// The records pin the promoted balsep engine's reason to exist — on
+// edge-order-hostile instances (adder_48_perm) the det-k row exhausts its
+// deadline and errors while balsep still closes the instance exactly —
+// and the CI perf gate diffs them against the committed BENCH_balsep.json.
+package bench
+
+import (
+	"context"
+	"time"
+
+	"hypertree"
+	"hypertree/internal/exp"
+	"hypertree/internal/telemetry"
+)
+
+// hwJobs are the balsep worker-pool sizes benchmarked per instance; each
+// contributes one "balsep-jN" record.
+var hwJobs = []int{1, 4}
+
+// RunHW executes the hypertree-width harness: per catalog hypergraph, one
+// "detk" record (the sequential exact width search, an error record when
+// the budget kills it — Compare then gates nothing on that row) and one
+// "balsep-jN" record per pool size, all Kind "hw".
+func RunHW(cfg Config) Report {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	rep := Report{
+		GeneratedBy: "htdbench -hw",
+		Timeout:     cfg.Timeout.String(),
+		Seed:        cfg.Seed,
+		Full:        cfg.Full,
+		Methods:     []string{"detk", "balsep-j1", "balsep-j4"},
+	}
+	for _, inst := range exp.Hypergraphs(cfg.Full) {
+		if !cfg.keep(inst.Name) {
+			continue
+		}
+		h := inst.Build()
+
+		rec := Record{
+			Instance: inst.Name, Family: inst.Family, Kind: "hw",
+			Vertices: h.NumVertices(), Edges: h.NumEdges(),
+			Method: "detk", Seed: cfg.Seed,
+		}
+		st := new(htd.Stats)
+		ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		start := time.Now()
+		w, _, err := htd.HypertreeWidthCtx(ctx, h, 0, st, nil)
+		cancel()
+		wall := time.Since(start)
+		ms.Stop()
+		fill(&rec, htd.Result{Width: w, Exact: err == nil}, err, wall, st)
+		rep.Records = append(rep.Records, rec)
+		progress(cfg.Log, rec)
+
+		for _, jobs := range hwJobs {
+			rec := Record{
+				Instance: inst.Name, Family: inst.Family, Kind: "hw",
+				Vertices: h.NumVertices(), Edges: h.NumEdges(),
+				Method: "balsep-j" + string(rune('0'+jobs)), Seed: cfg.Seed,
+			}
+			st := new(htd.Stats)
+			ms := telemetry.StartMemSampler(st, nil, memSampleEvery)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+			start := time.Now()
+			res, err := htd.GHWCtx(ctx, h, htd.Options{
+				Method: htd.MethodBalSep, Jobs: jobs, Seed: cfg.Seed, Stats: st,
+				DisableCoverCache: cfg.DisableCoverCache,
+			})
+			cancel()
+			wall := time.Since(start)
+			ms.Stop()
+			fill(&rec, res, err, wall, st)
+			rep.Records = append(rep.Records, rec)
+			progress(cfg.Log, rec)
+		}
+	}
+	return rep
+}

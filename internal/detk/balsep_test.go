@@ -1,8 +1,11 @@
 package detk
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/gen"
 	"hypertree/internal/hypergraph"
@@ -21,46 +24,145 @@ func TestBalancedOnKnownFamilies(t *testing.T) {
 		{"cycle_9", hypergraph.FromGraph(gen.Cycle(9)), 2},
 	}
 	for _, c := range cases {
-		d, ok := DecomposeBalanced(c.h, c.k, BalancedOptions{})
-		if !ok {
-			t.Fatalf("%s: balanced decomposer failed at k=%d", c.name, c.k)
-		}
-		if err := d.ValidateGHD(); err != nil {
-			t.Fatalf("%s: %v", c.name, err)
-		}
-		if !CheckSpecial(d) {
-			t.Fatalf("%s: descendant condition violated", c.name)
-		}
-		if got := d.GHWidth(); got > c.k {
-			t.Fatalf("%s: width %d > k=%d", c.name, got, c.k)
+		for _, jobs := range []int{1, 4} {
+			d, ok, complete := DecomposeBalanced(c.h, c.k, BalancedOptions{Jobs: jobs})
+			if !ok {
+				t.Fatalf("%s (jobs=%d): balanced decomposer failed at k=%d", c.name, jobs, c.k)
+			}
+			if !complete {
+				t.Fatalf("%s (jobs=%d): uncapped run reported incomplete", c.name, jobs)
+			}
+			if err := d.ValidateGHD(); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if !CheckSpecial(d) {
+				t.Fatalf("%s: descendant condition violated", c.name)
+			}
+			if got := d.GHWidth(); got > c.k {
+				t.Fatalf("%s: width %d > k=%d", c.name, got, c.k)
+			}
 		}
 	}
 }
 
 func TestBalancedRejectsBelowWidth(t *testing.T) {
-	// Even as a heuristic it must never fabricate a decomposition below
-	// the true width.
+	// It must never fabricate a decomposition below the true width, and an
+	// unbounded failure is a completeness proof.
 	h := gen.CliqueHypergraph(8) // ghw = hw = 4
-	if _, ok := DecomposeBalanced(h, 3, BalancedOptions{}); ok {
+	_, ok, complete := DecomposeBalanced(h, 3, BalancedOptions{})
+	if ok {
 		t.Fatal("balanced decomposer claimed width 3 on K8")
+	}
+	if !complete {
+		t.Fatal("unbounded failure must be a completeness proof")
 	}
 }
 
-func TestBalancedParallelMatchesSequential(t *testing.T) {
-	h := gen.Adder(12)
-	seq, ok1 := DecomposeBalanced(h, 2, BalancedOptions{})
-	par, ok2 := DecomposeBalanced(h, 2, BalancedOptions{Parallel: true})
-	if !ok1 || !ok2 {
-		t.Fatalf("ok: seq=%v par=%v", ok1, ok2)
+// The legacy API returned (nil, false) identically for "proved infeasible"
+// and "MaxGuesses cap tripped"; the complete flag now separates them, and a
+// capped run must not plant failure certificates that a later widening
+// could trip over.
+func TestBalancedCapReportsIncomplete(t *testing.T) {
+	h := hypergraph.FromGraph(gen.Grid2D(5, 5)) // feasible, but not within 2 guesses
+	d, ok, complete := DecomposeBalanced(h, 3, BalancedOptions{MaxGuesses: 2})
+	if ok {
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("instance solved within the cap; cannot exercise truncation")
 	}
-	if seq.GHWidth() != par.GHWidth() {
-		t.Fatalf("widths differ: %d vs %d", seq.GHWidth(), par.GHWidth())
+	if complete {
+		t.Fatal("cap-truncated failure claimed to be a proof of infeasibility")
 	}
-	if err := par.ValidateGHD(); err != nil {
+
+	// Genuine infeasibility at the same budget keeps reporting complete.
+	_, ok, complete = DecomposeBalanced(gen.CliqueHypergraph(6), 2, BalancedOptions{})
+	if ok || !complete {
+		t.Fatalf("K6 at k=2: ok=%v complete=%v, want infeasible+complete", ok, complete)
+	}
+}
+
+// Approx trades width slack for an earlier success: at k below the true
+// width with slack covering the gap, the engine must succeed and report
+// the slack it spent; a complete failure must cover the whole slack range.
+func TestBalancedApproxSlack(t *testing.T) {
+	h := gen.CliqueHypergraph(8) // hw = 4
+	r := DecomposeBalancedCtx(context.Background(), h, 2, BalancedOptions{Approx: 2})
+	if !r.Found {
+		t.Fatal("approx slack 2 from k=2 must reach the feasible width 4")
+	}
+	if err := r.Decomposition.ValidateGHD(); err != nil {
 		t.Fatal(err)
 	}
-	if !CheckSpecial(par) {
-		t.Fatal("parallel result violates descendant condition")
+	if !CheckSpecial(r.Decomposition) {
+		t.Fatal("approx result violates descendant condition")
+	}
+	if w := r.Decomposition.GHWidth(); w > 4 {
+		t.Fatalf("width %d exceeds k+Approx", w)
+	}
+	if r.SlackUsed != r.Decomposition.GHWidth()-2 {
+		t.Fatalf("SlackUsed=%d, width=%d, k=2", r.SlackUsed, r.Decomposition.GHWidth())
+	}
+
+	r = DecomposeBalancedCtx(context.Background(), h, 2, BalancedOptions{Approx: 1})
+	if r.Found || !r.Complete {
+		t.Fatalf("K8 at k=2+1 slack: found=%v complete=%v, want a complete failure", r.Found, r.Complete)
+	}
+}
+
+// The pooled search is AND-parallelism over components whose subsearches
+// are individually deterministic, so a complete run returns the identical
+// tree at every Jobs value.
+func TestBalancedJobsInvariance(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		gen.Adder(12),
+		gen.Chain(16, 4, 2),
+		gen.RandomHypergraph(16, 14, 4, 2),
+	} {
+		k, _ := Width(h, 0, Options{})
+		var want []byte
+		for _, jobs := range []int{1, 2, 8} {
+			d, ok, complete := DecomposeBalanced(h, k, BalancedOptions{Jobs: jobs, Seed: 7})
+			if !ok || !complete {
+				t.Fatalf("jobs=%d: ok=%v complete=%v at k=%d", jobs, ok, complete, k)
+			}
+			var buf bytes.Buffer
+			if err := d.WriteTD(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = buf.Bytes()
+			} else if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("jobs=%d produced a different tree than jobs=1", jobs)
+			}
+		}
+	}
+}
+
+// The oracle feeds enumeration two ways — connector-size pruning and
+// whole-scope leaf covers — neither of which may change feasibility or
+// validity.
+func TestBalancedWithOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		h := gen.RandomHypergraph(10, 8, 3, seed)
+		hw, _ := Width(h, 0, Options{})
+		orc := cover.New(h, cover.Options{})
+		d, ok, complete := DecomposeBalanced(h, hw, BalancedOptions{Jobs: 2, Oracle: orc})
+		if !ok || !complete {
+			t.Fatalf("seed %d: oracle run failed at hw=%d", seed, hw)
+		}
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !CheckSpecial(d) {
+			t.Fatalf("seed %d: descendant condition violated", seed)
+		}
+		if _, ok, complete := DecomposeBalanced(h, hw-1, BalancedOptions{Jobs: 2, Oracle: orc}); ok || !complete {
+			t.Fatalf("seed %d: below-width run ok=%v complete=%v", seed, ok, complete)
+		}
+		if c := orc.Counters(); c.Hits+c.Misses == 0 {
+			t.Fatalf("seed %d: oracle never consulted", seed)
+		}
 	}
 }
 
@@ -68,7 +170,7 @@ func TestBalancedParallelMatchesSequential(t *testing.T) {
 // long chains.
 func TestBalancedDepthOnChains(t *testing.T) {
 	h := gen.Chain(32, 4, 2)
-	bal, ok := DecomposeBalanced(h, 2, BalancedOptions{})
+	bal, ok, _ := DecomposeBalanced(h, 2, BalancedOptions{})
 	if !ok {
 		t.Fatal("balanced failed on chain")
 	}
@@ -77,18 +179,28 @@ func TestBalancedDepthOnChains(t *testing.T) {
 	}
 }
 
+// The promoted engine is complete: it agrees with det-k-decomp on
+// feasibility at the exact width, in both directions.
 func TestBalancedRandomAgainstExact(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		h := gen.RandomHypergraph(9, 7, 3, seed)
 		hw, _ := Width(h, 0, Options{})
-		// Balanced at hw+1 should usually succeed; at hw it may or may not
-		// (heuristic), but any result must be valid.
-		if d, ok := DecomposeBalanced(h, hw+1, BalancedOptions{}); ok {
-			if err := d.ValidateGHD(); err != nil {
-				t.Fatalf("seed %d: %v", seed, err)
-			}
-			if !CheckSpecial(d) {
-				t.Fatalf("seed %d: descendant condition violated", seed)
+		d, ok, complete := DecomposeBalanced(h, hw, BalancedOptions{Jobs: 2, Seed: seed})
+		if !ok || !complete {
+			t.Fatalf("seed %d: balanced failed at exact width %d", seed, hw)
+		}
+		if err := d.ValidateGHD(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !CheckSpecial(d) {
+			t.Fatalf("seed %d: descendant condition violated", seed)
+		}
+		if d.GHWidth() > hw {
+			t.Fatalf("seed %d: width %d > hw %d", seed, d.GHWidth(), hw)
+		}
+		if hw > 1 {
+			if _, ok, complete := DecomposeBalanced(h, hw-1, BalancedOptions{Jobs: 2, Seed: seed}); ok || !complete {
+				t.Fatalf("seed %d: hw-1 run ok=%v complete=%v", seed, ok, complete)
 			}
 		}
 	}

@@ -14,10 +14,13 @@
 package detk
 
 import (
+	"context"
+
 	"hypertree/internal/bitset"
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/interrupt"
 	"hypertree/internal/telemetry"
 )
 
@@ -43,8 +46,17 @@ type Options struct {
 // (nil, false) when none exists. The result, when non-nil, satisfies the
 // three GHD conditions plus the descendant condition (CheckSpecial).
 func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposition, bool) {
+	d, ok, _ := DecomposeCtx(context.Background(), h, k, opt)
+	return d, ok
+}
+
+// DecomposeCtx is Decompose under a context: cancellation or a deadline
+// aborts the search at the next poll and returns the context error. A
+// cancelled search never plants failure certificates in its memo and
+// never reports a definitive (nil, false).
+func DecomposeCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposition, bool, error) {
 	if k < 1 {
-		return nil, false
+		return nil, false, nil
 	}
 	mark := opt.Stats.MarkPhase()
 	defer opt.Stats.AttributeSince(telemetry.PhaseBranch, mark)
@@ -52,6 +64,7 @@ func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposit
 		h:    h,
 		k:    k,
 		memo: cover.NewFailMemo(0),
+		chk:  interrupt.New(ctx, 256),
 		opt:  opt,
 	}
 	allEdges := bitset.New(h.NumEdges())
@@ -73,26 +86,40 @@ func Decompose(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomposit
 			telemetry.Arg{Key: "guesses", Val: s.guesses})
 	}
 	if root == nil {
-		return nil, false
+		if s.cancelled {
+			return nil, false, interrupt.Cause(ctx)
+		}
+		return nil, false, nil
 	}
 	d := decomp.New(h)
 	attach(d, root, nil)
 	d.Complete()
-	return d, true
+	return d, true, nil
 }
 
 // Width returns the exact hypertree width of h by trying k = 1, 2, … and
 // the witnessing decomposition. maxK caps the search (≤ 0 means |edges|).
 func Width(h *hypergraph.Hypergraph, maxK int, opt Options) (int, *decomp.Decomposition) {
+	w, d, _ := WidthCtx(context.Background(), h, maxK, opt)
+	return w, d
+}
+
+// WidthCtx is Width under a context; it returns the context error when
+// cancellation struck before the width was decided.
+func WidthCtx(ctx context.Context, h *hypergraph.Hypergraph, maxK int, opt Options) (int, *decomp.Decomposition, error) {
 	if maxK <= 0 {
 		maxK = h.NumEdges()
 	}
 	for k := 1; k <= maxK; k++ {
-		if d, ok := Decompose(h, k, opt); ok {
-			return k, d
+		d, ok, err := DecomposeCtx(ctx, h, k, opt)
+		if err != nil {
+			return -1, nil, err
+		}
+		if ok {
+			return k, d, nil
 		}
 	}
-	return -1, nil
+	return -1, nil, nil
 }
 
 // node is the search-internal decomposition node.
@@ -118,9 +145,15 @@ type solver struct {
 	// memo is scoped to one Decompose call because failure certificates are
 	// k-dependent.
 	memo    *cover.FailMemo
+	chk     *interrupt.Checker
 	guesses int64
 	calls   int64 // component recursions, for trace sampling
-	opt     Options
+	// truncated latches when the guess cap or cancellation cut enumeration
+	// short: from then on failures are not proofs and must stay out of the
+	// memo (an unsound certificate could hide a real decomposition).
+	truncated bool
+	cancelled bool
+	opt       Options
 }
 
 // decompose finds a hypertree for the hyperedges in comp whose root node
@@ -164,7 +197,7 @@ func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set, depth int) *node 
 
 	var lambda []int
 	res := s.searchSeparator(comp, conn, compVars, candidates, 0, lambda, depth)
-	if res == nil {
+	if res == nil && !s.truncated {
 		s.memo.MarkFailed(comp, conn)
 	}
 	return res
@@ -175,6 +208,12 @@ func (s *solver) decompose(comp *bitset.Set, conn *bitset.Set, depth int) *node 
 // vertex or intersect the component).
 func (s *solver) searchSeparator(comp, conn, compVars *bitset.Set, candidates []int, from int, lambda []int, depth int) *node {
 	if s.opt.MaxGuesses > 0 && s.guesses > s.opt.MaxGuesses {
+		s.truncated = true
+		return nil
+	}
+	if s.chk != nil && s.chk.Stop() {
+		s.truncated = true
+		s.cancelled = true
 		return nil
 	}
 	if len(lambda) > 0 {

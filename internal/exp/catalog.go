@@ -110,6 +110,13 @@ func hypergraphSuite(full bool) []HGInstance {
 		HGInstance{"clique_20", func() *hypergraph.Hypergraph { return gen.CliqueHypergraph(20) }, 10, 10, "exact"},
 		HGInstance{"grid2d_10", func() *hypergraph.Hypergraph { return gen.Grid2DHypergraph(10, 20) }, 11, -1, "exact"},
 		HGInstance{"grid3d_4", func() *hypergraph.Hypergraph { return gen.Grid3DHypergraph(4, 4, 4) }, -1, -1, "exact"},
+		// adder_48 with its edge indices shuffled: the same hypergraph up to
+		// edge order (ghw stays 2), but the shuffle defeats det-k-decomp's
+		// index-order separator descent — the single-threaded width search
+		// exhausts a multi-second deadline while the balanced-separator
+		// engine still closes the instance exactly in about a second. It is
+		// the CI anchor for the balsep-vs-detk bench gate.
+		HGInstance{"adder_48_perm", func() *hypergraph.Hypergraph { return gen.ShuffleEdges(gen.Adder(48), 11) }, 2, 2, "exact"},
 		HGInstance{"b08*", func() *hypergraph.Hypergraph { return gen.Circuit(30, 149, 4, 108) }, 10, -1, "substitute"},
 		HGInstance{"c499*", func() *hypergraph.Hypergraph { return gen.Circuit(41, 202, 5, 499) }, 13, -1, "substitute"},
 	)

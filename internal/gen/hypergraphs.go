@@ -161,3 +161,20 @@ func RandomHypergraph(n, m, maxArity int, seed int64) *hypergraph.Hypergraph {
 	}
 	return hypergraph.FromEdges(n, edges)
 }
+
+// ShuffleEdges returns a copy of h with edge indices relabelled by a
+// seeded permutation. The hypergraph is unchanged up to edge order — same
+// vertices, same edge sets, hence identical (generalized) hypertree width
+// — which makes shuffled variants the canonical probe for edge-order
+// robustness: algorithms that enumerate separators in index order
+// (det-k-decomp) can degrade by orders of magnitude on a shuffle, while
+// order-randomizing searches are unaffected.
+func ShuffleEdges(h *hypergraph.Hypergraph, seed int64) *hypergraph.Hypergraph {
+	m := h.NumEdges()
+	perm := rand.New(rand.NewSource(seed)).Perm(m)
+	edges := make([][]int, m)
+	for e := 0; e < m; e++ {
+		edges[perm[e]] = h.EdgeSet(e).Slice()
+	}
+	return hypergraph.FromEdges(h.NumVertices(), edges)
+}

@@ -1,0 +1,52 @@
+package order
+
+import (
+	"sort"
+
+	"hypertree/internal/decomp"
+)
+
+// FromDecomposition extracts an elimination ordering from a (generalized
+// hyper)tree decomposition by leaf-bag peeling: a post-order walk
+// eliminates, at each node, the vertices private to its subtree — those in
+// χ(n) but not in the parent's bag — so the root bag is eliminated last.
+// Vertices within one node are emitted in sorted order, making the
+// extraction deterministic.
+//
+// The classical peeling argument bounds the result: when vertex v of node
+// n is eliminated, every not-yet-eliminated neighbor of v lies in a bag of
+// n's subtree or in χ(n) itself, and by connectedness the ones still alive
+// all appear in χ(n); hence v's elimination clique is covered by λ(n), and
+// the ordering's exact-cover width is at most the decomposition's width.
+// Vertices missing from every bag (isolated ones of an incomplete tree)
+// are appended, sorted, at the end.
+func FromDecomposition(d *decomp.Decomposition) Ordering {
+	nv := d.H.NumVertices()
+	ord := make([]int, 0, nv)
+	seen := make([]bool, nv)
+	var walk func(n *decomp.Node)
+	walk = func(n *decomp.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		var mine []int
+		n.Chi.ForEach(func(v int) bool {
+			if !seen[v] && (n.Parent == nil || !n.Parent.Chi.Contains(v)) {
+				seen[v] = true
+				mine = append(mine, v)
+			}
+			return true
+		})
+		sort.Ints(mine)
+		ord = append(ord, mine...)
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	for v := 0; v < nv; v++ {
+		if !seen[v] {
+			ord = append(ord, v)
+		}
+	}
+	return Ordering(ord)
+}

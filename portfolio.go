@@ -20,11 +20,13 @@ func DefaultPortfolio() []Method {
 }
 
 // DefaultGHWPortfolio is the default method set for GHW (and Decompose)
-// portfolio runs: DefaultPortfolio plus the fractional-width local search,
-// which scores its ordering with exact integral covers so it competes on
-// equal terms while populating the shared frac memo.
+// portfolio runs: DefaultPortfolio plus the fractional-width local search
+// (which scores its ordering with exact integral covers so it competes on
+// equal terms while populating the shared frac memo) and the
+// balanced-separator search, whose iterative deepening from the tw-ksc
+// bound proves exactness on instances the ordering searches only bound.
 func DefaultGHWPortfolio() []Method {
-	return append(DefaultPortfolio(), MethodFHW)
+	return append(DefaultPortfolio(), MethodFHW, MethodBalSep)
 }
 
 // portfolioSeedStride separates the derived seeds of portfolio workers.
@@ -33,8 +35,8 @@ func DefaultGHWPortfolio() []Method {
 const portfolioSeedStride = 7919
 
 // portfolioMethods resolves and validates the raced method set against the
-// problem's default set; fhwOK rejects MethodFHW where it has no meaning
-// (treewidth).
+// problem's default set; fhwOK rejects the GHW-only methods (MethodFHW,
+// MethodBalSep) where they have no meaning (treewidth).
 func (o Options) portfolioMethods(def []Method, fhwOK bool) ([]Method, error) {
 	ms := o.Portfolio
 	if len(ms) == 0 {
@@ -46,6 +48,9 @@ func (o Options) portfolioMethods(def []Method, fhwOK bool) ([]Method, error) {
 		}
 		if m == MethodFHW && !fhwOK {
 			return nil, fmt.Errorf("htd: fhw is not a treewidth method")
+		}
+		if m == MethodBalSep && !fhwOK {
+			return nil, fmt.Errorf("htd: balsep is not a treewidth method")
 		}
 		if _, err := ParseMethod(m.String()); err != nil {
 			return nil, fmt.Errorf("htd: invalid portfolio entry %v", m)
